@@ -1,0 +1,28 @@
+# Convenience targets for the AQL_Sched reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench figures examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) -m repro.experiments all
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/consolidated_cloud.py
+	$(PYTHON) examples/calibrate_platform.py
+	$(PYTHON) examples/online_recognition.py
+	$(PYTHON) examples/schedule_trace.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis build *.egg-info

@@ -1,0 +1,23 @@
+"""Benchmark-harness configuration.
+
+Every benchmark reproduces one table or figure of the paper.  They run
+full simulations, so each is executed exactly once
+(``benchmark.pedantic(rounds=1)``) — the interesting output is the
+printed table (run with ``pytest benchmarks/ --benchmark-only -s``),
+and the benchmark timing records the experiment's wall-clock cost.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

@@ -1,0 +1,75 @@
+"""Bench: simulator throughput (not a paper artifact).
+
+These use pytest-benchmark conventionally — multiple timed rounds — to
+track the engine's own speed: virtual-seconds per wall-second for a
+representative consolidated host, and raw event-loop throughput.
+Regressions here make every experiment slower.
+"""
+
+from repro.guest.phases import Compute
+from repro.guest.thread import GuestThread
+from repro.hypervisor.machine import Machine
+from repro.sim.engine import Simulator, noop
+from repro.sim.units import MS
+from repro.workloads.io_workload import IoWorkload
+from repro.workloads.profiles import llcf_profile, llco_profile
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw queue: schedule-and-fire 10k events."""
+
+    def run():
+        sim = Simulator()
+        for t in range(10_000):
+            sim.at(t, noop)
+        sim.run_until(10_000)
+        return sim.events_fired
+
+    fired = benchmark(run)
+    assert fired == 10_000
+
+
+def test_consolidated_host_simulation_speed(benchmark):
+    """One virtual second of a busy 16-vCPU-on-4-pCPU host."""
+
+    def run():
+        machine = Machine(seed=0, default_quantum_ns=30 * MS)
+        pool = machine.create_pool("p", machine.topology.pcpus[:4], 30 * MS)
+        spec = machine.spec
+        io_vm = machine.new_vm("io", 4, weight=1024, pool=pool)
+        IoWorkload.heterogeneous("io", spec, vcpus=4).install(machine, io_vm)
+        for i in range(12):
+            vm = machine.new_vm(f"cpu{i}", 1, pool=pool)
+            profile = llcf_profile(spec) if i % 2 else llco_profile(spec)
+
+            def hog(thread, p=profile):
+                while True:
+                    yield Compute(5_000_000, profile=p)
+
+            vm.guest.add_thread(GuestThread(f"t{i}", hog))
+        machine.run(1_000 * MS)
+        return machine.sim.events_fired
+
+    fired = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    assert fired > 1_000
+
+
+def test_small_quantum_simulation_speed(benchmark):
+    """The expensive regime: 1 ms quanta mean 30x the scheduling events."""
+
+    def run():
+        machine = Machine(seed=0, default_quantum_ns=1 * MS)
+        pool = machine.create_pool("p", machine.topology.pcpus[:2], 1 * MS)
+        for i in range(8):
+            vm = machine.new_vm(f"cpu{i}", 1, pool=pool)
+
+            def hog(thread):
+                while True:
+                    yield Compute(5_000_000)
+
+            vm.guest.add_thread(GuestThread(f"t{i}", hog))
+        machine.run(500 * MS)
+        return machine.sim.events_fired
+
+    fired = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    assert fired > 2_000

@@ -1,0 +1,13 @@
+"""Bench: Table 3 — vTRS type recognition across the full catalog."""
+
+from repro.experiments.table3_recognition import render_table3, run_table3
+from repro.sim.units import SEC
+
+
+def test_table3_recognition(once):
+    result = once(lambda: run_table3(duration_ns=2 * SEC))
+    print()
+    print(render_table3(result))
+    # the paper's Table 3 has every program correctly classified;
+    # we tolerate one borderline program across the 31-entry catalog
+    assert result.accuracy >= 0.96

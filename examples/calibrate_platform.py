@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Calibrate the best quantum per application type for a platform.
+
+The paper's §3.4 calibration, runnable against any machine spec: sweep
+quantum lengths for each application type and report the best quantum
+(or "agnostic").  Here we calibrate a hypothetical small host with a
+4 MB LLC to show how the results are platform-dependent — a smaller LLC
+makes the LLCF class more fragile, but the *structure* (IO/spin want
+1 ms, LLCF wants long quanta) is stable.
+
+Run:  python examples/calibrate_platform.py            (fast sweep)
+      python examples/calibrate_platform.py --full     (paper-length)
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.core.calibration import run_calibration
+from repro.hardware.specs import CacheSpec, i7_3770
+from repro.metrics.tables import ResultTable, format_quantum
+from repro.sim.units import SEC
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    measure = 3 * SEC if full else 1 * SEC
+    kinds = None if full else ("io_hetero", "conspin", "llcf", "lolcf", "llco")
+    quanta = (1, 10, 30, 60, 90) if full else (1, 30, 90)
+    consolidations = (2, 4) if full else (4,)
+
+    small_host = replace(
+        i7_3770(),
+        name="small-llc host",
+        llc=CacheSpec(4 * 1024 * 1024, hit_ns=12.0, miss_ns=80.0),
+    )
+
+    for spec in (i7_3770(), small_host):
+        print(f"\ncalibrating {spec.name} "
+              f"(LLC {spec.llc.capacity_bytes // (1024 * 1024)} MB)...")
+        from repro.core.calibration import CALIBRATION_KINDS, KIND_FOR_TYPE
+
+        result = run_calibration(
+            spec=spec,
+            warmup_ns=1 * SEC,
+            measure_ns=measure,
+            seed=11,
+            kinds=kinds or CALIBRATION_KINDS,
+            quanta_ms=quanta,
+            consolidations=consolidations,
+        )
+        quanta_label = "/".join(str(q) for q in quanta)
+        table = ResultTable(
+            f"best quantum per type on {spec.name}",
+            ["type", "best quantum", f"normalised series ({quanta_label} ms)"],
+        )
+        for vtype, quantum in result.best_quanta.items():
+            kind = KIND_FOR_TYPE[vtype]
+            if kinds is not None and kind not in kinds:
+                continue
+            series = result.normalized_series(kind, consolidations[-1])
+            rendered = " ".join(f"{series[q]:.2f}" for q in sorted(series))
+            table.add_row(vtype.value, format_quantum(quantum), rendered)
+        print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A consolidated-cloud scenario under four schedulers.
+
+Runs the paper's scenario S5 (4 IOInt + 4 ConSpin + 4 LLCF + 2 LLCO +
+2 LoLCF vCPUs on 4 pCPUs) under native Xen, Microsliced, vSlicer,
+vTurbo and AQL_Sched, and prints a Fig. 8-style comparison.
+
+Run:  python examples/consolidated_cloud.py
+"""
+
+from repro.baselines import (
+    AqlPolicy,
+    Microsliced,
+    VSlicer,
+    VTurbo,
+    XenCredit,
+)
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import SCENARIOS
+from repro.metrics.tables import ResultTable
+from repro.sim.units import SEC
+
+
+def main() -> None:
+    scenario = SCENARIOS["S5"]
+    policies = [XenCredit(), Microsliced(), VSlicer(), VTurbo(), AqlPolicy()]
+    kwargs = dict(warmup_ns=2 * SEC, measure_ns=4 * SEC, seed=1)
+
+    runs = {}
+    for policy in policies:
+        print(f"running S5 under {policy.name}...")
+        runs[policy.name] = run_scenario(scenario, policy, **kwargs)
+
+    xen = runs["xen"].by_placement
+    table = ResultTable(
+        "\nScenario S5, normalised over native Xen (lower is better)",
+        ["application"] + [p.name for p in policies[1:]],
+    )
+    for app in xen:
+        table.add_row(
+            app,
+            *(
+                runs[p.name].by_placement[app] / xen[app]
+                for p in policies[1:]
+            ),
+        )
+    print(table.render())
+
+    aql = runs["aql"]
+    print("\nAQL_Sched's clusters:")
+    for name, quantum_ns, npcpus, nvcpus in aql.pool_layout:
+        if nvcpus:
+            print(
+                f"  {name}: quantum {quantum_ns // 1_000_000}ms, "
+                f"{npcpus} pCPUs, {nvcpus} vCPUs"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Scheduling policies: Xen Credit plus the paper's comparators.
+
+Every policy implements the tiny :class:`~repro.baselines.base.Policy`
+protocol (a ``setup(machine, ctx)`` hook invoked after workloads are
+installed, before the run starts).  The comparators of §4.2:
+
+* :class:`~repro.baselines.xen.XenCredit` — the native scheduler,
+  30 ms everywhere, BOOST enabled (the normalisation reference);
+* :class:`~repro.baselines.fixed.FixedQuantum` /
+  :class:`~repro.baselines.fixed.Microsliced` — one quantum for every
+  vCPU (Microsliced = 1 ms, per [6]);
+* :class:`~repro.baselines.vslicer.VSlicer` — a smaller quantum for
+  manually-designated IO vCPUs, shared pCPUs ([15]);
+* :class:`~repro.baselines.vturbo.VTurbo` — a dedicated small-quantum
+  pCPU pool ("turbo cores") for manually-designated IO vCPUs ([14]);
+* :class:`~repro.baselines.aql_policy.AqlPolicy` — the paper's
+  contribution, wrapping :class:`~repro.core.aql.AqlScheduler`.
+
+None of the comparators has online type recognition; like the paper's
+evaluation, they are configured from the scenario's ground-truth types
+("we manually configured each solution in order to obtain its best
+performance").
+"""
+
+from repro.baselines.aql_policy import AqlPolicy
+from repro.baselines.base import Policy, PolicyContext
+from repro.baselines.fixed import FixedQuantum, Microsliced
+from repro.baselines.vslicer import VSlicer
+from repro.baselines.vturbo import VTurbo
+from repro.baselines.xen import XenCredit
+
+__all__ = [
+    "Policy",
+    "PolicyContext",
+    "XenCredit",
+    "FixedQuantum",
+    "Microsliced",
+    "VSlicer",
+    "VTurbo",
+    "AqlPolicy",
+]

@@ -1,0 +1,73 @@
+"""AQL_Sched as a runnable policy."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.baselines.base import Policy, PolicyContext
+from repro.core.aql import AqlScheduler
+from repro.core.cursors import CursorLimits
+from repro.core.types import VCpuType
+from repro.sim.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.machine import Machine
+
+
+class AqlPolicy(Policy):
+    """Attach the AQL_Sched manager to the machine.
+
+    ``oracle`` short-circuits vTRS with the scenario's ground-truth
+    types (used by the overhead ablation); ``uniform_quantum_ns``
+    disables quantum customisation while keeping clustering (Fig. 7).
+    """
+
+    name = "aql"
+
+    def __init__(
+        self,
+        best_quanta: Optional[Mapping[VCpuType, Optional[int]]] = None,
+        limits: Optional[CursorLimits] = None,
+        window: int = 4,
+        period_ns: int = 30 * MS,
+        default_quantum_ns: int = 30 * MS,
+        oracle: bool = False,
+        uniform_quantum_ns: Optional[int] = None,
+        record_history: bool = False,
+    ):
+        self.best_quanta = best_quanta
+        self.limits = limits
+        self.window = window
+        self.period_ns = period_ns
+        self.default_quantum_ns = default_quantum_ns
+        self.oracle = oracle
+        self.uniform_quantum_ns = uniform_quantum_ns
+        self.record_history = record_history
+        self.manager: Optional[AqlScheduler] = None
+        if uniform_quantum_ns is not None:
+            self.name = f"aql-uniform-{uniform_quantum_ns // MS}ms"
+        elif oracle:
+            self.name = "aql-oracle"
+
+    def setup(self, machine: "Machine", ctx: PolicyContext) -> None:
+        # respect the scenario's confinement: clustering only over the
+        # pCPUs the vCPUs were deployed on keeps the consolidation
+        # ratio (and therefore LLC concurrency) unchanged
+        pcpus = list(ctx.pool.pcpus) if ctx.pool is not None else None
+        self.manager = AqlScheduler(
+            machine,
+            best_quanta=self.best_quanta,
+            limits=self.limits,
+            window=self.window,
+            period_ns=self.period_ns,
+            default_quantum_ns=self.default_quantum_ns,
+            sockets=ctx.sockets,
+            pcpus=pcpus,
+            record_history=self.record_history,
+            type_oracle=ctx.oracle_types if self.oracle else None,
+            uniform_quantum_ns=self.uniform_quantum_ns,
+        )
+        self.manager.attach()
+
+
+__all__ = ["AqlPolicy"]

@@ -1,0 +1,57 @@
+"""The policy protocol shared by Xen, the comparators and AQL_Sched."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.types import VCpuType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.topology import Socket
+    from repro.hypervisor.machine import Machine
+    from repro.hypervisor.pools import CpuPool
+    from repro.hypervisor.vm import VCpu
+
+
+@dataclass
+class PolicyContext:
+    """What a policy may know about the experiment.
+
+    ``oracle_types`` is the scenario's ground truth (vcpu_id -> type);
+    the manually-configured comparators (vTurbo, vSlicer) read it, and
+    AQL_Sched ignores it unless run in oracle mode.  ``pool`` is the
+    pCPU pool the scenario's VMs are confined to (None = whole
+    machine); ``sockets`` restricts AQL clustering (multi-socket case).
+    """
+
+    oracle_types: dict[int, VCpuType] = field(default_factory=dict)
+    pool: Optional["CpuPool"] = None
+    sockets: Optional[list["Socket"]] = None
+
+    def vcpus_of_type(
+        self, machine: "Machine", vtype: VCpuType
+    ) -> list["VCpu"]:
+        return [
+            vcpu
+            for vcpu in machine.all_vcpus
+            if self.oracle_types.get(vcpu.vcpu_id) == vtype
+        ]
+
+
+class Policy(abc.ABC):
+    """A scheduling configuration applied to a machine before a run."""
+
+    #: display name used in result tables
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def setup(self, machine: "Machine", ctx: PolicyContext) -> None:
+        """Configure pools/quanta/managers.  Called once, before run."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+__all__ = ["Policy", "PolicyContext"]

@@ -1,0 +1,61 @@
+"""vTurbo [14]: dedicated small-quantum "turbo" cores for IO vCPUs.
+
+A fraction of the scenario's pCPUs becomes a turbo pool running a
+micro quantum; manually-designated IO vCPUs are pinned there, everyone
+else shares the remaining cores at the default quantum.  Like the
+original system, there is no online recognition and the turbo capacity
+is provisioned statically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.baselines.base import Policy, PolicyContext
+from repro.core.types import VCpuType
+from repro.hypervisor.pools import PoolPlan
+from repro.sim.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.machine import Machine
+
+
+class VTurbo(Policy):
+    """Turbo-core pool for IO vCPUs."""
+
+    name = "vturbo"
+
+    def __init__(
+        self, micro_quantum_ns: int = 1 * MS, default_quantum_ns: int = 30 * MS
+    ):
+        if micro_quantum_ns <= 0 or default_quantum_ns <= 0:
+            raise ValueError("quanta must be positive")
+        self.micro_quantum_ns = micro_quantum_ns
+        self.default_quantum_ns = default_quantum_ns
+
+    def setup(self, machine: "Machine", ctx: PolicyContext) -> None:
+        all_vcpus = machine.all_vcpus
+        io_vcpus = ctx.vcpus_of_type(machine, VCpuType.IOINT)
+        others = [v for v in all_vcpus if v not in io_vcpus]
+        pcpus = list(ctx.pool.pcpus) if ctx.pool is not None else list(
+            machine.topology.pcpus
+        )
+        outside = [p for p in machine.topology.pcpus if p not in pcpus]
+        if not io_vcpus:
+            return
+        # provision turbo cores proportionally to the IO share,
+        # preserving the scenario's overall consolidation ratio
+        k = max(1, math.ceil(len(all_vcpus) / len(pcpus)))
+        turbo_count = min(len(pcpus) - 1, max(1, math.ceil(len(io_vcpus) / k)))
+        turbo_pcpus = pcpus[:turbo_count]
+        normal_pcpus = pcpus[turbo_count:]
+        plan = PoolPlan()
+        plan.add("turbo", turbo_pcpus, self.micro_quantum_ns, io_vcpus)
+        plan.add("normal", normal_pcpus, self.default_quantum_ns, others)
+        if outside:
+            plan.add("unused", outside, self.default_quantum_ns, [])
+        machine.apply_pool_plan(plan)
+
+
+__all__ = ["VTurbo"]

@@ -1,0 +1,32 @@
+"""The native Xen Credit configuration — the paper's baseline."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.baselines.base import Policy, PolicyContext
+from repro.sim.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.machine import Machine
+
+
+class XenCredit(Policy):
+    """Fixed 30 ms quantum everywhere, BOOST enabled.
+
+    This is what every figure normalises against.  Nothing to
+    configure: the machine's default pool already runs Credit at the
+    default quantum.
+    """
+
+    name = "xen"
+
+    def __init__(self, quantum_ns: int = 30 * MS):
+        self.quantum_ns = quantum_ns
+
+    def setup(self, machine: "Machine", ctx: PolicyContext) -> None:
+        for pool in machine.pools:
+            pool.quantum_ns = self.quantum_ns
+
+
+__all__ = ["XenCredit"]

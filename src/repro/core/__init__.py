@@ -1,0 +1,40 @@
+"""AQL_Sched: the paper's contribution.
+
+* :mod:`repro.core.types` — the five vCPU types;
+* :mod:`repro.core.cursors` — equations 1-5: metric levels to
+  percentage cursors;
+* :mod:`repro.core.vtrs` — the online vCPU Type Recognition System
+  (30 ms monitoring periods, n-period sliding window, argmax typing);
+* :mod:`repro.core.calibration` — the offline best-quantum-per-type
+  sweep (paper §3.4);
+* :mod:`repro.core.clustering` — the two-level clustering (Algorithms
+  1 & 2): socket distribution separating trashing from non-trashing
+  vCPUs, then per-socket quantum-length-compatible clusters with fair
+  pCPU pools;
+* :mod:`repro.core.aql` — the online manager tying it together:
+  re-type every n periods, re-cluster, apply the pool plan.
+"""
+
+from repro.core.aql import AqlScheduler
+from repro.core.calibration import (
+    PAPER_BEST_QUANTA,
+    CalibrationResult,
+    run_calibration,
+)
+from repro.core.clustering import build_pool_plan
+from repro.core.cursors import CursorLimits, MetricSample, compute_cursors
+from repro.core.types import VCpuType
+from repro.core.vtrs import VTRS
+
+__all__ = [
+    "VCpuType",
+    "CursorLimits",
+    "MetricSample",
+    "compute_cursors",
+    "VTRS",
+    "CalibrationResult",
+    "run_calibration",
+    "PAPER_BEST_QUANTA",
+    "build_pool_plan",
+    "AqlScheduler",
+]

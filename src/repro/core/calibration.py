@@ -1,0 +1,279 @@
+"""Offline quantum-length calibration (§3.4, Fig. 2).
+
+For each application type, a *baseline* VM running that type is
+colocated with disturber VMs on a small pCPU pool; the run is repeated
+for every candidate quantum length and consolidation ratio (vCPUs per
+pCPU).  Values are normalised over the run at Xen's default 30 ms —
+below 1.0 means the quantum beats the default.
+
+A type whose best and worst quanta differ by less than
+``agnostic_threshold`` is *quantum-length agnostic* (the paper finds
+exclusive-IO, LoLCF and LLCO agnostic); its best quantum is ``None``
+and clustering uses such vCPUs as filler.
+
+:data:`PAPER_BEST_QUANTA` records the paper's published outcome
+(IOInt -> 1 ms, ConSpin -> 1 ms, LLCF -> 90 ms, LoLCF/LLCO agnostic) so
+AQL_Sched can run without re-calibrating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.types import VCpuType
+from repro.hardware.specs import MachineSpec, i7_3770
+from repro.hypervisor.machine import Machine
+from repro.sim.units import MS, SEC
+from repro.workloads.base import Workload
+from repro.workloads.cpu import CpuBurnWorkload
+from repro.workloads.io_workload import IoWorkload
+from repro.workloads.profiles import llcf_profile, llco_profile, lolcf_profile
+from repro.workloads.spin import SpinWorkload
+
+#: The paper's candidate quantum lengths (§3.4.1).
+CALIBRATION_QUANTA_MS: tuple[int, ...] = (1, 10, 30, 60, 90)
+
+#: Xen's default quantum, the normalisation reference.
+DEFAULT_QUANTUM_MS = 30
+
+#: The six calibrated workload kinds of Fig. 2 (a)-(f).
+CALIBRATION_KINDS: tuple[str, ...] = (
+    "io_exclusive",
+    "io_hetero",
+    "conspin",
+    "llcf",
+    "lolcf",
+    "llco",
+)
+
+#: Which Fig. 2 panel drives which type's best quantum.
+KIND_FOR_TYPE: dict[VCpuType, str] = {
+    VCpuType.IOINT: "io_hetero",  # the exclusive panel is agnostic
+    VCpuType.CONSPIN: "conspin",
+    VCpuType.LLCF: "llcf",
+    VCpuType.LOLCF: "lolcf",
+    VCpuType.LLCO: "llco",
+}
+
+#: The paper's published calibration outcome; None = agnostic.
+PAPER_BEST_QUANTA: dict[VCpuType, Optional[int]] = {
+    VCpuType.IOINT: 1 * MS,
+    VCpuType.CONSPIN: 1 * MS,
+    VCpuType.LLCF: 90 * MS,
+    VCpuType.LOLCF: None,
+    VCpuType.LLCO: None,
+}
+
+
+@dataclass
+class CalibrationResult:
+    """The full Fig. 2 table plus the derived best quanta."""
+
+    #: (kind, quantum_ms, vcpus_per_pcpu) -> raw metric value
+    raw: dict[tuple[str, int, int], float] = field(default_factory=dict)
+    #: (kind, quantum_ms, vcpus_per_pcpu) -> value / value@30ms
+    normalized: dict[tuple[str, int, int], float] = field(default_factory=dict)
+    #: quantum_ms -> mean lock duration (Fig. 2 rightmost inset)
+    lock_duration_ns: dict[int, float] = field(default_factory=dict)
+    #: VCpuType -> best quantum in ns, or None when agnostic
+    best_quanta: dict[VCpuType, Optional[int]] = field(default_factory=dict)
+
+    def normalized_series(self, kind: str, vcpus_per_pcpu: int) -> dict[int, float]:
+        """quantum_ms -> normalized perf for one Fig. 2 panel column."""
+        return {
+            q: self.normalized[(kind, q, vcpus_per_pcpu)]
+            for (k, q, v) in self.normalized
+            if k == kind and v == vcpus_per_pcpu
+        }
+
+
+def _build_calibration_machine(
+    kind: str,
+    quantum_ms: int,
+    vcpus_per_pcpu: int,
+    spec: MachineSpec,
+    seed: int,
+) -> tuple[Machine, Workload, Optional[SpinWorkload]]:
+    """One calibration cell: baseline workload + disturbers on a pool.
+
+    CPU/IO kinds use a single pCPU (the paper's unit experiment); the
+    ConSpin kind uses a 4-thread indicator VM over two pCPUs so that
+    lock holders and waiters can overlap, as in kernbench runs.
+    """
+    machine = Machine(
+        spec, seed=seed, default_quantum_ns=quantum_ms * MS
+    )
+    if kind == "conspin":
+        pool_pcpus = machine.topology.pcpus[:2]
+    else:
+        pool_pcpus = machine.topology.pcpus[:1]
+    pool = machine.create_pool("calib", pool_pcpus, quantum_ms * MS)
+
+    def place(vm) -> None:
+        for vcpu in vm.vcpus:
+            machine.default_pool.remove_vcpu(vcpu)
+            pool.add_vcpu(vcpu)
+
+    spin: Optional[SpinWorkload] = None
+    if kind == "io_exclusive":
+        vm = machine.new_vm("baseline", 1)
+        place(vm)
+        baseline: Workload = IoWorkload.exclusive("io-excl").install(machine, vm)
+        disturbers = vcpus_per_pcpu - 1
+    elif kind == "io_hetero":
+        vm = machine.new_vm("baseline", 1)
+        place(vm)
+        baseline = IoWorkload.heterogeneous("io-hetero", spec).install(machine, vm)
+        disturbers = vcpus_per_pcpu - 1
+    elif kind == "conspin":
+        vm = machine.new_vm("baseline", 4)
+        place(vm)
+        spin = SpinWorkload("conspin", threads=4)
+        baseline = spin.install(machine, vm)
+        disturbers = vcpus_per_pcpu * len(pool_pcpus) - 4
+    elif kind == "llcf":
+        vm = machine.new_vm("baseline", 1)
+        place(vm)
+        baseline = CpuBurnWorkload("llcf", llcf_profile(spec)).install(machine, vm)
+        disturbers = vcpus_per_pcpu - 1
+    elif kind == "lolcf":
+        vm = machine.new_vm("baseline", 1)
+        place(vm)
+        baseline = CpuBurnWorkload("lolcf", lolcf_profile(spec)).install(machine, vm)
+        disturbers = vcpus_per_pcpu - 1
+    elif kind == "llco":
+        vm = machine.new_vm("baseline", 1)
+        place(vm)
+        baseline = CpuBurnWorkload("llco", llco_profile(spec)).install(machine, vm)
+        disturbers = vcpus_per_pcpu - 1
+    else:
+        raise ValueError(f"unknown calibration kind {kind!r}")
+
+    # Disturber VMs: trashing CPU hogs, the paper's worst-case
+    # colocation (they pollute the LLC and always want the CPU).
+    for i in range(max(0, disturbers)):
+        dvm = machine.new_vm(f"disturber{i}", 1)
+        place(dvm)
+        CpuBurnWorkload(f"disturber{i}", llco_profile(spec)).install(machine, dvm)
+    return machine, baseline, spin
+
+
+def _measure_lock_duration(
+    spec: MachineSpec,
+    quantum_ms: int,
+    warmup_ns: int,
+    measure_ns: int,
+    seed: int,
+) -> float:
+    """Fig. 2 rightmost inset: mean lock duration versus quantum.
+
+    Uses the dense-locking configuration (no barrier, short work
+    chunks) over two pCPUs with the indicator VM's four vCPUs doubly
+    consolidated, where lock-holder preemption dominates: the longer
+    the quantum, the longer a preempted holder keeps everyone spinning.
+    """
+    machine = Machine(spec, seed=seed, default_quantum_ns=quantum_ms * MS)
+    pool = machine.create_pool(
+        "inset", machine.topology.pcpus[:2], quantum_ms * MS
+    )
+    vm = machine.new_vm("indicator", 4)
+    for vcpu in vm.vcpus:
+        machine.default_pool.remove_vcpu(vcpu)
+        pool.add_vcpu(vcpu)
+    dense = SpinWorkload(
+        "dense-lock",
+        threads=4,
+        work_instructions=150_000.0,
+        cs_instructions=30_000.0,
+        use_barrier=False,
+    )
+    dense.install(machine, vm)
+    machine.run(warmup_ns)
+    start = dense.lock.stats
+    base_acq = start.acquisitions
+    base_wait = start.total_wait_ns
+    base_hold = start.total_hold_ns
+    machine.run(measure_ns)
+    machine.sync()
+    acquisitions = dense.lock.stats.acquisitions - base_acq
+    if acquisitions <= 0:
+        return 0.0
+    total = (
+        dense.lock.stats.total_wait_ns
+        - base_wait
+        + dense.lock.stats.total_hold_ns
+        - base_hold
+    )
+    return total / acquisitions
+
+
+def run_calibration(
+    spec: Optional[MachineSpec] = None,
+    quanta_ms: tuple[int, ...] = CALIBRATION_QUANTA_MS,
+    consolidations: tuple[int, ...] = (2, 4),
+    kinds: tuple[str, ...] = CALIBRATION_KINDS,
+    warmup_ns: int = 1 * SEC,
+    measure_ns: int = 3 * SEC,
+    seed: int = 0,
+    agnostic_threshold: float = 0.25,
+) -> CalibrationResult:
+    """Run the full §3.4 calibration sweep on the simulator."""
+    spec = spec or i7_3770()
+    if DEFAULT_QUANTUM_MS not in quanta_ms:
+        raise ValueError("the sweep must include the 30 ms reference")
+    result = CalibrationResult()
+
+    for kind in kinds:
+        for k in consolidations:
+            for quantum_ms in quanta_ms:
+                machine, baseline, spin = _build_calibration_machine(
+                    kind, quantum_ms, k, spec, seed
+                )
+                machine.run(warmup_ns)
+                baseline.begin_measurement()
+                machine.run(measure_ns)
+                machine.sync()
+                perf = baseline.result()
+                result.raw[(kind, quantum_ms, k)] = perf.value
+        for k in consolidations:
+            reference = result.raw[(kind, DEFAULT_QUANTUM_MS, k)]
+            for quantum_ms in quanta_ms:
+                result.normalized[(kind, quantum_ms, k)] = (
+                    result.raw[(kind, quantum_ms, k)] / reference
+                )
+
+    if "conspin" in kinds:
+        for quantum_ms in quanta_ms:
+            result.lock_duration_ns[quantum_ms] = _measure_lock_duration(
+                spec, quantum_ms, warmup_ns, measure_ns, seed
+            )
+
+    # derive best quanta from the highest consolidation (the paper's
+    # "most common case", 4 vCPUs per pCPU)
+    k_ref = max(consolidations)
+    for vtype, kind in KIND_FOR_TYPE.items():
+        if kind not in kinds:
+            continue
+        series = {
+            q: result.raw[(kind, q, k_ref)] for q in quanta_ms
+        }
+        values = list(series.values())
+        spread = (max(values) - min(values)) / min(values)
+        if spread < agnostic_threshold:
+            result.best_quanta[vtype] = None
+        else:
+            best_ms = min(series, key=series.get)
+            result.best_quanta[vtype] = best_ms * MS
+    return result
+
+
+__all__ = [
+    "CALIBRATION_QUANTA_MS",
+    "CALIBRATION_KINDS",
+    "DEFAULT_QUANTUM_MS",
+    "KIND_FOR_TYPE",
+    "PAPER_BEST_QUANTA",
+    "CalibrationResult",
+    "run_calibration",
+]

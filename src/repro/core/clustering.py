@@ -1,0 +1,314 @@
+"""The two-level clustering of §3.5 (Algorithms 1 and 2).
+
+**Level 1** distributes vCPUs over sockets: trashing vCPUs (LLCO, plus
+IOInt/ConSpin whose LLCO cursor exceeds 50 % — the paper's IOInt+ /
+ConSpin+) are packed onto as few sockets as possible, away from the
+cache-sensitive ones; vCPUs of the same VM stay adjacent (NUMA), and
+LoLCF vCPUs head the non-trashing list so they — not LLCF — absorb any
+colocation with trashers on the boundary socket.
+
+Note: Algorithm 1 as printed in the paper sends vCPUs whose max
+CPU-burn cursor is *LLCF* to the trashing list, contradicting the
+surrounding prose (trashing = LLCO + IOInt+/ConSpin+).  We implement
+the prose semantics; see DESIGN.md.
+
+**Level 2** runs per socket: vCPUs are grouped into quantum-length-
+compatible (QLC) clusters using the calibrated best quantum of their
+type; quantum-agnostic vCPUs (LoLCF, LLCO) pad clusters up to multiples
+of the fairness ratio ``k = ceil(vcpus / pcpus)``; pCPUs are then dealt
+``k`` vCPUs each, and any pCPU whose ``k`` vCPUs would span two
+clusters becomes part of the *default* cluster running the default
+quantum (30 ms) — exactly the spill rule of Algorithm 2 (lines 17-24).
+
+The output is a :class:`~repro.hypervisor.pools.PoolPlan` mapping every
+pCPU and every vCPU to a pool with a quantum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+from repro.core.types import VCpuType
+from repro.hypervisor.pools import PoolPlan
+from repro.sim.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.topology import Socket, Topology
+    from repro.hypervisor.vm import VCpu
+
+#: LLCO-cursor threshold above which an IOInt/ConSpin vCPU counts as a
+#: disturber (IOInt+/ConSpin+ in the paper).
+TRASHING_CURSOR_THRESHOLD = 50.0
+
+
+@dataclass(frozen=True)
+class TypedVCpu:
+    """Clustering input: a vCPU with its vTRS verdict."""
+
+    vcpu: "VCpu"
+    vtype: VCpuType
+    llco_cur_avg: float = 0.0
+
+    @property
+    def trashing(self) -> bool:
+        """Does this vCPU pollute the LLC (Algorithm 1's split)?"""
+        if self.vtype == VCpuType.LLCO:
+            return True
+        if self.vtype in (VCpuType.IOINT, VCpuType.CONSPIN):
+            return self.llco_cur_avg > TRASHING_CURSOR_THRESHOLD
+        return False
+
+    @property
+    def quantum_agnostic_hint(self) -> bool:
+        """LoLCF/LLCO are used as cluster filler (Algorithm 2 line 10)."""
+        return self.vtype in (VCpuType.LOLCF, VCpuType.LLCO)
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1: socket-level distribution
+# ----------------------------------------------------------------------
+def distribute_over_sockets(
+    typed: Sequence[TypedVCpu], sockets: Sequence["Socket"]
+) -> dict[int, list[TypedVCpu]]:
+    """Fairly spread vCPUs over sockets, trashers first and packed.
+
+    Returns socket_id -> assigned vCPUs.  Each socket receives at most
+    ``ceil(total / sockets)`` vCPUs; trashers are consumed before
+    non-trashers so they concentrate on the fewest sockets, and the
+    non-trashing list starts with LoLCF so those land on the boundary
+    socket shared with the last trashers.
+    """
+    if not sockets:
+        raise ValueError("no sockets to distribute over")
+    # line 3: keep vCPUs of the same VM adjacent
+    ordered = sorted(typed, key=lambda tv: (tv.vcpu.vm.vm_id, tv.vcpu.index))
+    trashing = [tv for tv in ordered if tv.trashing]
+    non_trashing = [tv for tv in ordered if not tv.trashing]
+    # line 11: LoLCF first among non-trashers
+    non_trashing.sort(
+        key=lambda tv: 0 if tv.vtype == VCpuType.LOLCF else 1
+    )
+    sequence = trashing + non_trashing
+    per_socket = _ceil_div(len(sequence), len(sockets)) if sequence else 0
+    assignment: dict[int, list[TypedVCpu]] = {s.socket_id: [] for s in sockets}
+    cursor = 0
+    for socket in sockets:
+        chunk = sequence[cursor:cursor + per_socket]
+        assignment[socket.socket_id] = chunk
+        cursor += len(chunk)
+    return assignment
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2: per-socket QLC clusters and pCPU pools
+# ----------------------------------------------------------------------
+@dataclass
+class SocketClusters:
+    """Algorithm 2's result for one socket."""
+
+    #: parallel lists: cluster quantum, its vCPUs, its pCPUs
+    clusters: list[tuple[int, list[TypedVCpu], list]]
+
+
+def cluster_socket(
+    members: Sequence[TypedVCpu],
+    pcpus: Sequence,
+    best_quanta: Mapping[VCpuType, Optional[int]],
+    default_quantum_ns: int = 30 * MS,
+    filler_policy: str = "safe",
+) -> SocketClusters:
+    """Group one socket's vCPUs into QLC clusters with fair pCPU pools.
+
+    ``filler_policy`` controls where agnostic vCPUs beyond the deficit
+    padding go: ``"paper"`` reproduces Fig. 3's layout (they join the
+    existing clusters, largest quantum first, wrapping round-robin) and
+    ``"safe"`` — the online default — never puts them in a
+    short-quantum cluster (see the comment below).
+    """
+    if filler_policy not in ("paper", "safe"):
+        raise ValueError(f"unknown filler policy {filler_policy!r}")
+    if not pcpus:
+        if members:
+            raise ValueError("vCPUs assigned to a socket with no pCPUs")
+        return SocketClusters(clusters=[])
+    if not members:
+        return SocketClusters(
+            clusters=[(default_quantum_ns, [], list(pcpus))]
+        )
+
+    # lines 2-7: one cluster per calibrated quantum, agnostic vCPUs kept
+    # aside as filler
+    quanta: list[int] = []
+    for tv in members:
+        quantum = best_quanta.get(tv.vtype)
+        if quantum is not None and not tv.quantum_agnostic_hint:
+            if quantum not in quanta:
+                quanta.append(quantum)
+    quanta.sort()
+    clusters: dict[int, list[TypedVCpu]] = {q: [] for q in quanta}
+    filler: list[TypedVCpu] = []
+    for tv in members:
+        quantum = best_quanta.get(tv.vtype)
+        if tv.quantum_agnostic_hint or quantum is None:
+            filler.append(tv)
+        else:
+            clusters[quantum].append(tv)
+
+    k = _ceil_div(len(members), len(pcpus))
+
+    # line 10: balance clusters with the agnostic vCPUs — first pad
+    # each cluster to a multiple of k, then spread the remainder
+    # round-robin in k-sized groups (Table 5's layouts: filler joins
+    # the typed clusters rather than forming its own).  Padding starts
+    # from the LARGEST quantum: agnostic vCPUs don't care, and an
+    # LLC-friendly vCPU mistyped as LLCO during a cold phase lands in a
+    # long-quantum pool where it can re-warm and be re-typed correctly.
+    padding_order = sorted(quanta, reverse=True)
+    for quantum in padding_order:
+        deficit = (-len(clusters[quantum])) % k
+        while deficit > 0 and filler:
+            clusters[quantum].append(filler.pop(0))
+            deficit -= 1
+    if filler and filler_policy == "paper" and quanta:
+        # Fig. 3's balancing: the remainder joins existing clusters,
+        # largest quantum first
+        index = 0
+        while filler:
+            target = padding_order[index % len(padding_order)]
+            for _ in range(min(k, len(filler))):
+                clusters[target].append(filler.pop(0))
+            index += 1
+    elif filler:
+        # "safe": agnostic vCPUs beyond the deficit padding never join
+        # a short-quantum cluster — they go to the largest >= default
+        # quantum cluster, or form their own default-quantum cluster.
+        # Besides fairness this is the self-correction path: a vCPU
+        # mistyped as LLCO during a cold phase gets a quantum long
+        # enough to re-warm and be re-typed.
+        big = max(
+            (q for q in quanta if q >= default_quantum_ns), default=None
+        )
+        target = big if big is not None else default_quantum_ns
+        clusters.setdefault(target, [])
+        clusters[target].extend(filler)
+        filler = []
+        if target not in quanta:
+            quanta.append(target)
+
+    # lines 11-30: deal k vCPUs to each pCPU; a pCPU whose share spans
+    # clusters goes to the default cluster
+    flat: list[tuple[int, TypedVCpu]] = []
+    for quantum in quanta:
+        flat.extend((quantum, tv) for tv in clusters[quantum])
+
+    pools: dict[int, list] = {}  # quantum -> pcpus
+    pool_vcpus: dict[int, list[TypedVCpu]] = {q: [] for q in quanta}
+    default_vcpus: list[TypedVCpu] = []
+    default_pcpus: list = []
+
+    index = 0
+    for pcpu in pcpus:
+        share = flat[index:index + k]
+        index += len(share)
+        if not share:
+            # surplus pCPU: attach to the default cluster
+            default_pcpus.append(pcpu)
+            continue
+        share_quanta = {q for q, _ in share}
+        if len(share_quanta) == 1:
+            quantum = share[0][0]
+            pools.setdefault(quantum, []).append(pcpu)
+            pool_vcpus.setdefault(quantum, []).extend(tv for _, tv in share)
+        else:
+            # Algorithm 2 lines 20-23: mixed share -> default cluster
+            default_pcpus.append(pcpu)
+            default_vcpus.extend(tv for _, tv in share)
+
+    result: list[tuple[int, list[TypedVCpu], list]] = []
+    for quantum in sorted(pools):
+        result.append((quantum, pool_vcpus.get(quantum, []), pools[quantum]))
+    if default_pcpus or default_vcpus:
+        # merge with an existing default-quantum cluster if one exists
+        merged = False
+        for i, (quantum, vcpus, cluster_pcpus) in enumerate(result):
+            if quantum == default_quantum_ns:
+                result[i] = (
+                    quantum,
+                    vcpus + default_vcpus,
+                    cluster_pcpus + default_pcpus,
+                )
+                merged = True
+                break
+        if not merged:
+            result.append((default_quantum_ns, default_vcpus, default_pcpus))
+    return SocketClusters(clusters=result)
+
+
+# ----------------------------------------------------------------------
+# machine-wide plan
+# ----------------------------------------------------------------------
+def build_pool_plan(
+    topology: "Topology",
+    typed: Sequence[TypedVCpu],
+    best_quanta: Mapping[VCpuType, Optional[int]],
+    default_quantum_ns: int = 30 * MS,
+    sockets: Optional[Sequence["Socket"]] = None,
+    pcpus: Optional[Sequence] = None,
+    filler_policy: str = "safe",
+) -> PoolPlan:
+    """Run both levels and emit a machine-wide pool plan.
+
+    ``sockets`` restricts clustering to a subset (the paper dedicates
+    one socket to dom0); ``pcpus`` further restricts to specific cores
+    (a confined CPU pool) — preserving the deployment's consolidation
+    ratio matters because clustering onto *more* cores than the vCPUs
+    were confined to raises LLC concurrency.  Unlisted sockets/cores
+    get reserved default pools so the plan still covers every pCPU.
+    """
+    usable = list(sockets) if sockets is not None else list(topology.sockets)
+    allowed = set(pcpus) if pcpus is not None else None
+    assignment = distribute_over_sockets(typed, usable)
+    plan = PoolPlan()
+    counter = 0
+    reserved: list = []
+    for socket in usable:
+        members = assignment[socket.socket_id]
+        socket_pcpus = [
+            p for p in socket.pcpus if allowed is None or p in allowed
+        ]
+        reserved.extend(
+            p for p in socket.pcpus if allowed is not None and p not in allowed
+        )
+        socket_result = cluster_socket(
+            members,
+            socket_pcpus,
+            best_quanta,
+            default_quantum_ns,
+            filler_policy=filler_policy,
+        )
+        for quantum, vcpus, cluster_pcpus in socket_result.clusters:
+            counter += 1
+            label = f"s{socket.socket_id}.C{counter}.q{quantum // MS}ms"
+            plan.add(label, cluster_pcpus, quantum, [tv.vcpu for tv in vcpus])
+    unused = [s for s in topology.sockets if s not in usable]
+    for socket in unused:
+        reserved.extend(socket.pcpus)
+    if reserved:
+        counter += 1
+        plan.add("reserved", reserved, default_quantum_ns, [])
+    return plan
+
+
+__all__ = [
+    "TypedVCpu",
+    "SocketClusters",
+    "TRASHING_CURSOR_THRESHOLD",
+    "distribute_over_sockets",
+    "cluster_socket",
+    "build_pool_plan",
+]

@@ -1,0 +1,119 @@
+"""Equations 1-5: converting monitored levels to percentage cursors.
+
+Inputs per monitoring period and per vCPU (§3.3):
+
+* ``IOInt_level`` — IO events processed (event-channel count);
+* ``ConSpin_level`` — spin evidence (PLE exits + paravirtual spin-lock
+  notifications, the VM count split over its vCPUs);
+* ``LLC_RR_level`` — LLC references per instruction;
+* ``LLC_MR_level`` — LLC miss ratio (misses / references).
+
+Outputs: five cursors in [0, 100].  The CPU-burn trio always sums to
+exactly 100 (equation 2); IOInt/ConSpin saturate at their limits
+(equation 1).
+
+The limits are platform- and deployment-dependent (the paper calibrates
+them per platform); :class:`CursorLimits` defaults match this
+simulator's canonical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import VCpuType
+
+
+@dataclass(frozen=True)
+class CursorLimits:
+    """Saturation thresholds for the cursor equations."""
+
+    #: IO events per monitoring period above which a vCPU is 100% IOInt.
+    io_limit: float = 3.0
+    #: spin events (PLE exits + paravirt notifications) per period above
+    #: which a vCPU is 100% ConSpin.
+    conspin_limit: float = 50.0
+    #: LLC references per instruction above which a vCPU is *not* LoLCF
+    #: (equation 3's LLC_RR_LIMIT).
+    llc_rr_limit: float = 0.004
+    #: LLC miss ratio above which a vCPU is trashing (equation 4's
+    #: LLC_MR_LIMIT).
+    llc_mr_limit: float = 0.75
+
+    def __post_init__(self) -> None:
+        for field_name in ("io_limit", "conspin_limit", "llc_rr_limit", "llc_mr_limit"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """Raw per-period monitoring deltas for one vCPU."""
+
+    io_events: float = 0.0
+    spin_events: float = 0.0
+    instructions: float = 0.0
+    llc_refs: float = 0.0
+    llc_misses: float = 0.0
+
+    @property
+    def llc_rr_level(self) -> float:
+        """LLC references per instruction."""
+        if self.instructions <= 0:
+            return 0.0
+        return self.llc_refs / self.instructions
+
+    @property
+    def llc_mr_level(self) -> float:
+        """LLC miss ratio; zero references means no miss evidence."""
+        if self.llc_refs <= 0:
+            return 0.0
+        return self.llc_misses / self.llc_refs
+
+
+def _saturating_cursor(level: float, limit: float) -> float:
+    """Equation 1: linear up to the limit, then saturated at 100."""
+    if level >= limit:
+        return 100.0
+    if level <= 0:
+        return 0.0
+    return level * 100.0 / limit
+
+
+def compute_cursors(
+    sample: MetricSample, limits: CursorLimits
+) -> dict[VCpuType, float]:
+    """Equations 1-5: one period's cursors for one vCPU."""
+    io_cur = _saturating_cursor(sample.io_events, limits.io_limit)
+    conspin_cur = _saturating_cursor(sample.spin_events, limits.conspin_limit)
+
+    # Equation 3: LoLCF — the fewer LLC references, the more LoLCF.
+    rr = sample.llc_rr_level
+    if rr < limits.llc_rr_limit:
+        lolcf_cur = (limits.llc_rr_limit - rr) * 100.0 / limits.llc_rr_limit
+    else:
+        lolcf_cur = 0.0
+
+    # Equation 4: LLCF — low miss ratio, bounded by what LoLCF left.
+    mr = sample.llc_mr_level
+    if mr < limits.llc_mr_limit:
+        llcf_cur = min(
+            100.0 - lolcf_cur,
+            (limits.llc_mr_limit - mr) * 100.0 / limits.llc_mr_limit,
+        )
+    else:
+        llcf_cur = 0.0
+
+    # Equation 5: LLCO — the residual (equation 2 holds by construction).
+    llco_cur = 100.0 - lolcf_cur - llcf_cur
+
+    return {
+        VCpuType.IOINT: io_cur,
+        VCpuType.CONSPIN: conspin_cur,
+        VCpuType.LOLCF: lolcf_cur,
+        VCpuType.LLCF: llcf_cur,
+        VCpuType.LLCO: llco_cur,
+    }
+
+
+__all__ = ["CursorLimits", "MetricSample", "compute_cursors"]

@@ -1,0 +1,42 @@
+"""The five vCPU types of §3.2.
+
+The enum order doubles as the tie-break precedence when two cursors
+have exactly the same window average (the paper notes ties are
+unlikely; a deterministic precedence keeps runs reproducible).  IO and
+spin evidence is direct (event counts), so those types win a tie
+against the CPU-burn trio whose cursors are residual percentages.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class VCpuType(enum.Enum):
+    IOINT = "IOInt"
+    CONSPIN = "ConSpin"
+    LLCF = "LLCF"
+    LLCO = "LLCO"
+    LOLCF = "LoLCF"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Tie-break precedence: first listed wins an exact cursor tie.
+TYPE_PRECEDENCE: tuple[VCpuType, ...] = (
+    VCpuType.IOINT,
+    VCpuType.CONSPIN,
+    VCpuType.LLCF,
+    VCpuType.LLCO,
+    VCpuType.LOLCF,
+)
+
+#: The CPU-burn sub-types whose cursors must sum to 100 (equation 2).
+CPU_BURN_TYPES: tuple[VCpuType, ...] = (
+    VCpuType.LOLCF,
+    VCpuType.LLCF,
+    VCpuType.LLCO,
+)
+
+__all__ = ["VCpuType", "TYPE_PRECEDENCE", "CPU_BURN_TYPES"]

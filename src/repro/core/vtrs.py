@@ -1,0 +1,187 @@
+"""The online vCPU Type Recognition System (§3.3).
+
+Every *monitoring period* (30 ms) the vTRS:
+
+1. synchronises the machine (integrating running segments so counters
+   are exact),
+2. reads each vCPU's counter deltas — IO events, spin evidence (PLE
+   exits plus the VM's paravirtual spin notifications split across its
+   vCPUs), PMU instructions/LLC refs/LLC misses,
+3. computes the five cursors (equations 1-5) and pushes them into the
+   vCPU's ``n``-entry sliding window.
+
+A vCPU's *type* is the cursor with the highest window average
+(:meth:`VTRS.type_of`); ties break by the fixed precedence in
+:mod:`repro.core.types`.  The paper sets ``n = 4``: small enough to
+track type changes, large enough to avoid migration thrash.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.cursors import CursorLimits, MetricSample, compute_cursors
+from repro.core.types import TYPE_PRECEDENCE, VCpuType
+from repro.sim.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.machine import Machine
+    from repro.hypervisor.vm import VCpu
+
+
+@dataclass
+class _VCpuMonitor:
+    """Per-vCPU monitoring state: snapshots and the cursor window."""
+
+    pmu_snap: object = None
+    ple_snap: float = 0.0
+    io_snap: float = 0.0
+    vm_spin_snap: float = 0.0
+    window: deque = field(default_factory=deque)
+    history: list = field(default_factory=list)  # (time, cursors) if recording
+
+
+class VTRS:
+    """Online type recognition over all vCPUs of a machine."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        limits: Optional[CursorLimits] = None,
+        window: int = 4,
+        period_ns: int = 30 * MS,
+        record_history: bool = False,
+        min_activity_instructions: float = 100_000.0,
+    ):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self.machine = machine
+        self.limits = limits or CursorLimits()
+        self.window = window
+        self.period_ns = period_ns
+        self.record_history = record_history
+        #: a period with fewer retired instructions and no IO/spin
+        #: events carries no evidence (the vCPU was descheduled the
+        #: whole period — common at 4 vCPUs/pCPU with a 30 ms quantum);
+        #: such periods are skipped rather than mistaken for LoLCF.
+        self.min_activity_instructions = min_activity_instructions
+        self._monitors: dict[int, _VCpuMonitor] = {}
+        self.periods_observed = 0
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self) -> "VTRS":
+        """Start monitoring: one sampling pass every period."""
+        if self._attached:
+            return self
+        self._attached = True
+        self.machine.every(self.period_ns, self.sample_all, "vtrs")
+        return self
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample_all(self) -> None:
+        """One monitoring period: read deltas, push cursors."""
+        self.machine.sync()
+        self.periods_observed += 1
+        now = self.machine.sim.now
+        for vcpu in self.machine.all_vcpus:
+            monitor = self._monitors.get(vcpu.vcpu_id)
+            if monitor is None:
+                monitor = _VCpuMonitor()
+                monitor.window = deque(maxlen=self.window)
+                self._monitors[vcpu.vcpu_id] = monitor
+                self._snapshot(vcpu, monitor)
+                continue
+            sample = self._delta(vcpu, monitor)
+            self._snapshot(vcpu, monitor)
+            cpu_evidence = sample.instructions >= self.min_activity_instructions
+            if (
+                not cpu_evidence
+                and sample.io_events <= 0
+                and sample.spin_events <= 0
+            ):
+                continue  # no evidence this period
+            cursors = compute_cursors(sample, self.limits)
+            monitor.window.append((cursors, cpu_evidence))
+            if self.record_history:
+                monitor.history.append((now, cursors))
+
+    def _snapshot(self, vcpu: "VCpu", monitor: _VCpuMonitor) -> None:
+        monitor.pmu_snap = vcpu.pmu.snapshot()
+        monitor.ple_snap = vcpu.ple.snapshot()
+        monitor.io_snap = vcpu.io_events
+        monitor.vm_spin_snap = vcpu.vm.spin_notifications
+
+    def _delta(self, vcpu: "VCpu", monitor: _VCpuMonitor) -> MetricSample:
+        pmu = vcpu.pmu.delta_since(monitor.pmu_snap)
+        ple = vcpu.ple.delta_since(monitor.ple_snap)
+        io = vcpu.io_events - monitor.io_snap
+        vm_spin = vcpu.vm.spin_notifications - monitor.vm_spin_snap
+        # ConSpin_level is "the number of spin-locks performed by its
+        # VM" (§3.3): the whole-VM paravirtual count applies to each of
+        # the VM's vCPUs, plus this vCPU's own PLE exits.
+        spin = ple + vm_spin
+        return MetricSample(
+            io_events=io,
+            spin_events=spin,
+            instructions=pmu.instructions,
+            llc_refs=pmu.llc_refs,
+            llc_misses=pmu.llc_misses,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def cursor_averages(self, vcpu: "VCpu") -> dict[VCpuType, float]:
+        """Window-average of each cursor (zeros before any sample).
+
+        IO/ConSpin cursors average over every sampled period; the
+        CPU-burn trio averages only over periods with compute evidence
+        (a period spent entirely spinning or handling events says
+        nothing about cache behaviour).
+        """
+        monitor = self._monitors.get(vcpu.vcpu_id)
+        if monitor is None or not monitor.window:
+            return {t: 0.0 for t in VCpuType}
+        count = len(monitor.window)
+        cpu_entries = [c for c, cpu_ok in monitor.window if cpu_ok]
+        averages: dict[VCpuType, float] = {}
+        for vtype in VCpuType:
+            if vtype in (VCpuType.IOINT, VCpuType.CONSPIN):
+                averages[vtype] = (
+                    sum(c[vtype] for c, _ in monitor.window) / count
+                )
+            elif cpu_entries:
+                averages[vtype] = (
+                    sum(c[vtype] for c in cpu_entries) / len(cpu_entries)
+                )
+            else:
+                averages[vtype] = 0.0
+        return averages
+
+    def type_of(self, vcpu: "VCpu") -> Optional[VCpuType]:
+        """Current type, or None before the first full sample."""
+        monitor = self._monitors.get(vcpu.vcpu_id)
+        if monitor is None or not monitor.window:
+            return None
+        averages = self.cursor_averages(vcpu)
+        return max(TYPE_PRECEDENCE, key=lambda t: (averages[t], -TYPE_PRECEDENCE.index(t)))
+
+    def history_of(self, vcpu: "VCpu") -> list:
+        """Recorded (time, cursors) pairs (requires record_history)."""
+        monitor = self._monitors.get(vcpu.vcpu_id)
+        return list(monitor.history) if monitor else []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<VTRS n={self.window} periods={self.periods_observed}>"
+
+
+__all__ = ["VTRS"]

@@ -1,0 +1,37 @@
+"""Experiment harness: one module per paper table/figure.
+
+* :mod:`repro.experiments.scenarios` — Table 4's colocation scenarios
+  S1-S5, the Fig. 3 multi-socket population and generic builders;
+* :mod:`repro.experiments.runner` — run a scenario under a policy and
+  collect per-app results;
+* ``fig2_calibration`` .. ``fig8_comparison``, ``table3_recognition``,
+  ``overhead`` — the per-figure experiments, each with a ``run_*``
+  function returning structured data and a ``render_*`` helper that
+  prints the same rows/series the paper reports;
+* ``ablations``, ``sync_primitives``, ``window_sensitivity``,
+  ``random_mixes`` — studies beyond the paper isolating the mechanisms
+  the reproduction is built on.
+
+Run any of them from the command line::
+
+    python -m repro.experiments list
+
+See DESIGN.md's per-experiment index for the mapping to paper figures.
+"""
+
+from repro.experiments.runner import ScenarioRun, run_scenario
+from repro.experiments.scenarios import (
+    FIG3_POPULATION,
+    SCENARIOS,
+    AppPlacement,
+    Scenario,
+)
+
+__all__ = [
+    "AppPlacement",
+    "Scenario",
+    "SCENARIOS",
+    "FIG3_POPULATION",
+    "ScenarioRun",
+    "run_scenario",
+]

@@ -1,0 +1,211 @@
+"""Command-line experiment runner.
+
+Regenerate any table/figure of the paper without the benchmark harness:
+
+    python -m repro.experiments list
+    python -m repro.experiments fig2 [--fast]
+    python -m repro.experiments all [--fast]
+
+``--fast`` cuts simulation durations (~4x) for a quick look; the
+default durations match the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.sim.units import MS, SEC
+
+
+def _fig2(fast: bool) -> str:
+    from repro.experiments.fig2_calibration import render_fig2, run_fig2
+
+    measure = 1 * SEC if fast else 3 * SEC
+    return render_fig2(run_fig2(warmup_ns=500 * MS, measure_ns=measure))
+
+
+def _fig3(fast: bool) -> str:
+    from repro.experiments.fig3_clustering import render_fig3, run_fig3
+
+    return render_fig3(run_fig3())
+
+
+def _fig4(fast: bool) -> str:
+    from repro.experiments.fig4_vtrs import render_fig4, run_fig4
+
+    return render_fig4(run_fig4(periods=20 if fast else 50))
+
+
+def _fig5(fast: bool) -> str:
+    from repro.experiments.fig5_validation import (
+        FIG5_APPS,
+        render_fig5,
+        run_fig5,
+    )
+
+    apps = FIG5_APPS[:6] if fast else FIG5_APPS
+    measure = 1 * SEC if fast else 2 * SEC
+    return render_fig5(
+        run_fig5(apps=apps, warmup_ns=500 * MS, measure_ns=measure)
+    )
+
+
+def _fig6(fast: bool) -> str:
+    from repro.experiments.fig6_effectiveness import render_fig6, run_fig6
+
+    warmup = 1 * SEC if fast else 2 * SEC
+    measure = 2 * SEC if fast else 4 * SEC
+    return render_fig6(run_fig6(warmup_ns=warmup, measure_ns=measure))
+
+
+def _fig7(fast: bool) -> str:
+    from repro.experiments.fig7_customization import render_fig7, run_fig7
+
+    warmup = 1 * SEC if fast else 2 * SEC
+    measure = 2 * SEC if fast else 4 * SEC
+    return render_fig7(run_fig7(warmup_ns=warmup, measure_ns=measure))
+
+
+def _fig8(fast: bool) -> str:
+    from repro.experiments.fig8_comparison import render_fig8, run_fig8
+
+    warmup = 1 * SEC if fast else 2 * SEC
+    measure = 2 * SEC if fast else 4 * SEC
+    return render_fig8(run_fig8(warmup_ns=warmup, measure_ns=measure))
+
+
+def _table3(fast: bool) -> str:
+    from repro.experiments.table3_recognition import (
+        render_table3,
+        run_table3,
+    )
+    from repro.workloads.suites import APP_CATALOG
+
+    apps = sorted(APP_CATALOG)[:8] if fast else None
+    duration = 1 * SEC if fast else 2 * SEC
+    return render_table3(run_table3(apps=apps, duration_ns=duration))
+
+
+def _overhead(fast: bool) -> str:
+    from repro.experiments.overhead import (
+        render_overhead,
+        render_table6,
+        run_overhead,
+    )
+
+    warmup = 1 * SEC if fast else 2 * SEC
+    measure = 2 * SEC if fast else 4 * SEC
+    text = render_overhead(run_overhead(warmup_ns=warmup, measure_ns=measure))
+    return text + "\n\n" + render_table6()
+
+
+def _sync(fast: bool) -> str:
+    from repro.experiments.sync_primitives import (
+        render_sync_primitives,
+        run_sync_primitives,
+    )
+
+    measure = 1 * SEC if fast else 2 * SEC
+    return render_sync_primitives(run_sync_primitives(measure_ns=measure))
+
+
+def _window(fast: bool) -> str:
+    from repro.experiments.window_sensitivity import (
+        render_window_sensitivity,
+        run_window_sensitivity,
+    )
+
+    warmup = 1 * SEC if fast else 2 * SEC
+    measure = 2 * SEC if fast else 4 * SEC
+    return render_window_sensitivity(
+        run_window_sensitivity(warmup_ns=warmup, measure_ns=measure)
+    )
+
+
+def _random(fast: bool) -> str:
+    from repro.experiments.random_mixes import (
+        render_random_mixes,
+        run_random_mixes,
+    )
+
+    mixes = 3 if fast else 5
+    measure = 2 * SEC if fast else 3 * SEC
+    return render_random_mixes(
+        run_random_mixes(mixes=mixes, measure_ns=measure)
+    )
+
+
+def _ablations(fast: bool) -> str:
+    from repro.experiments.ablations import (
+        render_boost_ablation,
+        render_lock_handoff_ablation,
+        render_reuse_ablation,
+        run_boost_ablation,
+        run_lock_handoff_ablation,
+        run_reuse_ablation,
+    )
+
+    measure = 1 * SEC if fast else 2 * SEC
+    parts = [
+        render_boost_ablation(run_boost_ablation(measure_ns=measure)),
+        render_lock_handoff_ablation(
+            run_lock_handoff_ablation(measure_ns=measure)
+        ),
+        render_reuse_ablation(run_reuse_ablation(measure_ns=measure)),
+    ]
+    return "\n\n".join(parts)
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[bool], str]]] = {
+    "fig2": ("Fig. 2 — quantum calibration panels + lock inset", _fig2),
+    "fig3": ("Fig. 3 — two-level clustering worked example", _fig3),
+    "fig4": ("Fig. 4 — online vTRS in action", _fig4),
+    "fig5": ("Fig. 5 — per-application robustness", _fig5),
+    "fig6": ("Fig. 6 + Table 5 — AQL vs Xen (single & multi socket)", _fig6),
+    "fig7": ("Fig. 7 — quantum-customisation ablation", _fig7),
+    "fig8": ("Fig. 8 — vs vTurbo/vSlicer/Microsliced", _fig8),
+    "table3": ("Table 3 — vTRS recognition over the catalog", _table3),
+    "overhead": ("§4.3 + Table 6 — overhead & feature matrix", _overhead),
+    "ablations": ("extra ablations: BOOST, lock handoff, reuse curve",
+                  _ablations),
+    "sync": ("§3.2 ablation: spin locks vs blocking semaphores", _sync),
+    "window": ("§3.3.1: vTRS window-size sensitivity", _window),
+    "random": ("generalisation: AQL on random colocation mixes", _random),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="which experiment to run ('list' to enumerate, 'all' for every one)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="shorter simulations (~4x faster)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:10s} {description}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"\n=== {name}: {description} ===")
+        start = time.perf_counter()
+        print(runner(args.fast))
+        print(f"[{name} took {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Three studies beyond the paper's own ablation (Fig. 7):
+
+* **BOOST** (:func:`run_boost_ablation`) — Credit's BOOST fast-path is
+  the reason exclusive IO is quantum-agnostic (Fig. 2a); with BOOST
+  disabled, exclusive-IO latency becomes quantum-bound.  This isolates
+  the paper's §3.4 claim that BOOST works *only* for workloads that
+  block before exhausting their quantum.
+* **Lock handoff** (:func:`run_lock_handoff_ablation`) — strict ticket
+  (FIFO) handoff vs test-and-set barging under consolidation.  FIFO
+  reproduces the lock-waiter-preemption convoys of [39]; the study
+  shows how much worse ticket locks make large quanta.
+* **Cache reuse curve** (:func:`run_reuse_ablation`) — the concave
+  hit-probability exponent governs how fast an LLC-friendly working
+  set re-warms.  Uniform access (exponent 1.0) exaggerates the quantum
+  effect; strong hot-subset reuse (0.3) dampens it.  The study reports
+  the LLCF 1 ms / 90 ms performance ratio per exponent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.calibration import _build_calibration_machine
+from repro.hardware.specs import MachineSpec, i7_3770
+from repro.hypervisor.machine import Machine
+from repro.metrics.tables import ResultTable
+from repro.sim.units import MS, SEC
+from repro.workloads.cpu import CpuBurnWorkload
+from repro.workloads.io_workload import IoWorkload
+from repro.workloads.profiles import llcf_profile, llco_profile
+from repro.workloads.spin import SpinWorkload
+
+
+# ----------------------------------------------------------------------
+# BOOST ablation
+# ----------------------------------------------------------------------
+@dataclass
+class BoostAblation:
+    #: (boost_enabled, quantum_ms) -> mean exclusive-IO latency (ns)
+    latency: dict[tuple[bool, int], float] = field(default_factory=dict)
+
+
+def run_boost_ablation(
+    quanta_ms: tuple[int, ...] = (1, 30, 90),
+    warmup_ns: int = 500 * MS,
+    measure_ns: int = 2 * SEC,
+    seed: int = 3,
+) -> BoostAblation:
+    result = BoostAblation()
+    spec = i7_3770()
+    for boost in (True, False):
+        for quantum_ms in quanta_ms:
+            machine = Machine(
+                spec,
+                seed=seed,
+                default_quantum_ns=quantum_ms * MS,
+                boost_enabled=boost,
+            )
+            pool = machine.create_pool(
+                "p", machine.topology.pcpus[:1], quantum_ms * MS
+            )
+            vm = machine.new_vm("io", 1)
+            machine.default_pool.remove_vcpu(vm.vcpus[0])
+            pool.add_vcpu(vm.vcpus[0])
+            workload = IoWorkload.exclusive("io").install(machine, vm)
+            for i in range(3):
+                dvm = machine.new_vm(f"hog{i}", 1)
+                machine.default_pool.remove_vcpu(dvm.vcpus[0])
+                pool.add_vcpu(dvm.vcpus[0])
+                CpuBurnWorkload(f"h{i}", llco_profile(spec)).install(
+                    machine, dvm
+                )
+            machine.run(warmup_ns)
+            workload.begin_measurement()
+            machine.run(measure_ns)
+            result.latency[(boost, quantum_ms)] = workload.result().value
+    return result
+
+
+def render_boost_ablation(result: BoostAblation) -> str:
+    quanta = sorted({q for _, q in result.latency})
+    table = ResultTable(
+        "BOOST ablation — exclusive-IO mean latency (ms)",
+        ["quantum", "BOOST on", "BOOST off", "off/on"],
+    )
+    for quantum_ms in quanta:
+        on = result.latency[(True, quantum_ms)]
+        off = result.latency[(False, quantum_ms)]
+        table.add_row(
+            f"{quantum_ms}ms", on / 1e6, off / 1e6, off / max(on, 1e-9)
+        )
+    return table.render()
+
+
+# ----------------------------------------------------------------------
+# lock-handoff ablation
+# ----------------------------------------------------------------------
+@dataclass
+class LockHandoffAblation:
+    #: (handoff, quantum_ms) -> ns per job in the dense-lock workload
+    ns_per_job: dict[tuple[str, int], float] = field(default_factory=dict)
+    #: (handoff, quantum_ms) -> mean lock duration (ns)
+    lock_duration: dict[tuple[str, int], float] = field(default_factory=dict)
+
+
+def run_lock_handoff_ablation(
+    quanta_ms: tuple[int, ...] = (1, 30, 90),
+    warmup_ns: int = 500 * MS,
+    measure_ns: int = 2 * SEC,
+    seed: int = 3,
+) -> LockHandoffAblation:
+    result = LockHandoffAblation()
+    spec = i7_3770()
+    for handoff in ("hybrid", "fifo"):
+        for quantum_ms in quanta_ms:
+            machine = Machine(
+                spec, seed=seed, default_quantum_ns=quantum_ms * MS
+            )
+            pool = machine.create_pool(
+                "p", machine.topology.pcpus[:2], quantum_ms * MS
+            )
+            vm = machine.new_vm("spin", 4, weight=1024)
+            for vcpu in vm.vcpus:
+                machine.default_pool.remove_vcpu(vcpu)
+                pool.add_vcpu(vcpu)
+            workload = SpinWorkload(
+                "dense",
+                threads=4,
+                work_instructions=150_000.0,
+                cs_instructions=30_000.0,
+                use_barrier=False,
+                lock_handoff=handoff,
+            ).install(machine, vm)
+            for i in range(4):
+                dvm = machine.new_vm(f"hog{i}", 1)
+                machine.default_pool.remove_vcpu(dvm.vcpus[0])
+                pool.add_vcpu(dvm.vcpus[0])
+                CpuBurnWorkload(f"h{i}", llcf_profile(spec)).install(
+                    machine, dvm
+                )
+            machine.run(warmup_ns)
+            workload.begin_measurement()
+            machine.run(measure_ns)
+            machine.sync()
+            perf = workload.result()
+            result.ns_per_job[(handoff, quantum_ms)] = perf.value
+            result.lock_duration[(handoff, quantum_ms)] = dict(perf.details)[
+                "mean_lock_duration_ns"
+            ]
+    return result
+
+
+def render_lock_handoff_ablation(result: LockHandoffAblation) -> str:
+    quanta = sorted({q for _, q in result.ns_per_job})
+    table = ResultTable(
+        "Lock-handoff ablation — dense-lock workload, 4 threads + 4 hogs"
+        " on 2 pCPUs",
+        ["quantum", "hybrid ns/job", "fifo ns/job", "fifo/hybrid",
+         "hybrid lock (us)", "fifo lock (us)"],
+    )
+    for quantum_ms in quanta:
+        hybrid = result.ns_per_job[("hybrid", quantum_ms)]
+        fifo = result.ns_per_job[("fifo", quantum_ms)]
+        table.add_row(
+            f"{quantum_ms}ms",
+            hybrid,
+            fifo,
+            fifo / max(hybrid, 1e-9),
+            result.lock_duration[("hybrid", quantum_ms)] / 1000.0,
+            result.lock_duration[("fifo", quantum_ms)] / 1000.0,
+        )
+    return table.render()
+
+
+# ----------------------------------------------------------------------
+# cache reuse-curve ablation
+# ----------------------------------------------------------------------
+@dataclass
+class ReuseAblation:
+    #: exponent -> (llcf value at 1 ms) / (llcf value at 90 ms)
+    quantum_sensitivity: dict[float, float] = field(default_factory=dict)
+
+
+def _llcf_cell(
+    spec: MachineSpec, exponent: float, quantum_ms: int,
+    warmup_ns: int, measure_ns: int, seed: int,
+) -> float:
+    machine, baseline, _ = _build_calibration_machine(
+        "llcf", quantum_ms, 4, spec, seed
+    )
+    for socket in machine.topology.sockets:
+        socket.llc.reuse_exponent = exponent
+    machine.run(warmup_ns)
+    baseline.begin_measurement()
+    machine.run(measure_ns)
+    machine.sync()
+    return baseline.result().value
+
+
+def run_reuse_ablation(
+    exponents: tuple[float, ...] = (0.3, 0.5, 1.0),
+    warmup_ns: int = 500 * MS,
+    measure_ns: int = 2 * SEC,
+    seed: int = 3,
+) -> ReuseAblation:
+    result = ReuseAblation()
+    spec = i7_3770()
+    for exponent in exponents:
+        at_1 = _llcf_cell(spec, exponent, 1, warmup_ns, measure_ns, seed)
+        at_90 = _llcf_cell(spec, exponent, 90, warmup_ns, measure_ns, seed)
+        result.quantum_sensitivity[exponent] = at_1 / at_90
+    return result
+
+
+def render_reuse_ablation(result: ReuseAblation) -> str:
+    table = ResultTable(
+        "Cache reuse-curve ablation — LLCF quantum sensitivity"
+        " (perf at 1 ms / perf at 90 ms; > 1 means long quanta help)",
+        ["reuse exponent", "1ms / 90ms ratio"],
+    )
+    for exponent, ratio in sorted(result.quantum_sensitivity.items()):
+        table.add_row(f"{exponent:.1f}", ratio)
+    return table.render()
+
+
+__all__ = [
+    "BoostAblation",
+    "LockHandoffAblation",
+    "ReuseAblation",
+    "run_boost_ablation",
+    "run_lock_handoff_ablation",
+    "run_reuse_ablation",
+    "render_boost_ablation",
+    "render_lock_handoff_ablation",
+    "render_reuse_ablation",
+]

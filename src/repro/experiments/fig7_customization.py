@@ -1,0 +1,75 @@
+"""Fig. 7: the benefit of quantum-length customisation.
+
+The Fig. 3 population runs with AQL's clustering active but the
+per-cluster quantum customisation *discarded* — every pool forced to a
+uniform small (1 ms), medium (30 ms) or large (90 ms) quantum.  Values
+are normalised over the full AQL run (clustering + customisation), so
+a bar above 1.0 means customisation helped that application class
+(the paper's reading: true for almost all types; the small quantum
+comes close except for LLCF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import AqlPolicy
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import FIG3_POPULATION
+from repro.metrics.tables import ResultTable
+from repro.sim.units import MS, SEC
+
+UNIFORM_QUANTA_MS = {"small": 1, "medium": 30, "large": 90}
+
+
+@dataclass
+class Fig7Result:
+    #: variant -> placement -> value normalised over full AQL
+    normalized: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+def run_fig7(
+    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1
+) -> Fig7Result:
+    scenario = FIG3_POPULATION
+    full = run_scenario(
+        scenario, AqlPolicy(), warmup_ns=warmup_ns, measure_ns=measure_ns,
+        seed=seed,
+    )
+    result = Fig7Result()
+    for label, quantum_ms in UNIFORM_QUANTA_MS.items():
+        uniform = run_scenario(
+            scenario,
+            AqlPolicy(uniform_quantum_ns=quantum_ms * MS),
+            warmup_ns=warmup_ns,
+            measure_ns=measure_ns,
+            seed=seed,
+        )
+        result.normalized[label] = {
+            key: uniform.by_placement[key] / full.by_placement[key]
+            for key in full.by_placement
+        }
+    return result
+
+
+def render_fig7(result: Fig7Result) -> str:
+    placements = sorted(
+        {key for values in result.normalized.values() for key in values}
+    )
+    table = ResultTable(
+        "Fig. 7 — clustering-only with uniform quantum, normalised over"
+        " full AQL (> 1 means customisation helped)",
+        ["type"] + [f"{label} ({q}ms)" for label, q in UNIFORM_QUANTA_MS.items()],
+    )
+    for key in placements:
+        table.add_row(
+            key,
+            *(
+                result.normalized[label].get(key, float("nan"))
+                for label in UNIFORM_QUANTA_MS
+            ),
+        )
+    return table.render()
+
+
+__all__ = ["Fig7Result", "run_fig7", "render_fig7", "UNIFORM_QUANTA_MS"]

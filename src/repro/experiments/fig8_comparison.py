@@ -1,0 +1,64 @@
+"""Fig. 8: AQL_Sched vs vTurbo, vSlicer and Microsliced on scenario S5.
+
+All values normalised over native Xen.  The paper's reading: each
+comparator helps only its niche (vTurbo/vSlicer the IO VMs, Microsliced
+IO + spin at the cost of LLCF), while AQL_Sched matches the best
+comparator on every application type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import AqlPolicy, Microsliced, VSlicer, VTurbo, XenCredit
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import SCENARIOS
+from repro.metrics.tables import ResultTable
+from repro.sim.units import SEC
+
+
+@dataclass
+class Fig8Result:
+    #: policy -> placement -> normalised perf vs Xen
+    normalized: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+def run_fig8(
+    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1
+) -> Fig8Result:
+    scenario = SCENARIOS["S5"]
+    xen = run_scenario(
+        scenario, XenCredit(), warmup_ns=warmup_ns, measure_ns=measure_ns,
+        seed=seed,
+    )
+    result = Fig8Result()
+    for policy in (VTurbo(), Microsliced(), VSlicer(), AqlPolicy()):
+        run = run_scenario(
+            scenario, policy, warmup_ns=warmup_ns, measure_ns=measure_ns,
+            seed=seed,
+        )
+        result.normalized[policy.name] = {
+            key: run.by_placement[key] / xen.by_placement[key]
+            for key in xen.by_placement
+        }
+    return result
+
+
+def render_fig8(result: Fig8Result) -> str:
+    policies = list(result.normalized)
+    placements = sorted(
+        {key for values in result.normalized.values() for key in values}
+    )
+    table = ResultTable(
+        "Fig. 8 — comparison with vTurbo / Microsliced / vSlicer on S5"
+        " (normalised over Xen, lower is better)",
+        ["application"] + policies,
+    )
+    for key in placements:
+        table.add_row(
+            key, *(result.normalized[p].get(key, float("nan")) for p in policies)
+        )
+    return table.render()
+
+
+__all__ = ["Fig8Result", "run_fig8", "render_fig8"]

@@ -1,0 +1,88 @@
+"""Run a scenario under a policy and collect per-app performance.
+
+The protocol mirrors the paper's evaluation: build the colocation,
+apply the scheduling policy, warm up (enough for vTRS to converge and
+caches to settle), open the measurement window, and report each
+application's metric.  Results are normalised against a run of the
+same scenario under native Xen by the per-figure experiment modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines.base import Policy
+from repro.core.types import VCpuType
+from repro.experiments.scenarios import BuiltScenario, Scenario, build_scenario
+from repro.sim.units import SEC
+from repro.workloads.base import PerfResult
+
+
+@dataclass
+class ScenarioRun:
+    """Everything one scenario x policy run produced."""
+
+    scenario: str
+    policy: str
+    results: dict[str, PerfResult] = field(default_factory=dict)
+    #: mean result per placement key (CPU placements span several unit
+    #: VMs named "key.N"; this folds them back together)
+    by_placement: dict[str, float] = field(default_factory=dict)
+    detected_types: dict[int, VCpuType] = field(default_factory=dict)
+    pool_layout: list[tuple[str, int, int, int]] = field(default_factory=list)
+    built: Optional[BuiltScenario] = None
+
+    def placement_value(self, key: str) -> float:
+        return self.by_placement[key]
+
+
+def _placement_key(result_name: str) -> str:
+    """bzip2.3 -> bzip2; specweb2009 -> specweb2009."""
+    head, _, tail = result_name.rpartition(".")
+    if head and tail.isdigit():
+        return head
+    return result_name
+
+
+def run_scenario(
+    scenario: Scenario,
+    policy: Policy,
+    warmup_ns: int = 2 * SEC,
+    measure_ns: int = 4 * SEC,
+    seed: int = 0,
+    keep_built: bool = False,
+) -> ScenarioRun:
+    """Build, configure, warm up, measure."""
+    built = build_scenario(scenario, seed=seed)
+    policy.setup(built.machine, built.ctx)
+    built.machine.run(warmup_ns)
+    for workload in built.workloads.values():
+        workload.begin_measurement()
+    built.machine.run(measure_ns)
+    built.machine.sync()
+
+    run = ScenarioRun(scenario=scenario.name, policy=policy.name)
+    for name, workload in built.workloads.items():
+        run.results[name] = workload.result()
+
+    groups: dict[str, list[float]] = {}
+    for name, result in run.results.items():
+        groups.setdefault(_placement_key(name), []).append(result.value)
+    run.by_placement = {
+        key: sum(values) / len(values) for key, values in groups.items()
+    }
+
+    manager = getattr(policy, "manager", None)
+    if manager is not None:
+        run.detected_types = dict(manager.last_types)
+    run.pool_layout = [
+        (pool.name, pool.quantum_ns, len(pool.pcpus), len(pool.vcpus))
+        for pool in built.machine.pools
+    ]
+    if keep_built:
+        run.built = built
+    return run
+
+
+__all__ = ["ScenarioRun", "run_scenario", "_placement_key"]

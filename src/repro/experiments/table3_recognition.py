@@ -1,0 +1,111 @@
+"""Table 3: application types as recognised by vTRS.
+
+Every catalog program runs consolidated at 4 vCPUs/pCPU with quiet
+CPU-hog neighbours while the online vTRS watches; the detected type is
+compared with the paper's Table 3 classification (which our catalog
+encodes as each program's expected type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.types import VCpuType
+from repro.core.vtrs import VTRS
+from repro.hardware.specs import MachineSpec, i7_3770
+from repro.hypervisor.machine import Machine
+from repro.metrics.tables import ResultTable
+from repro.sim.units import MS, SEC
+from repro.workloads.cpu import CpuBurnWorkload
+from repro.workloads.profiles import lolcf_profile
+from repro.workloads.suites import APP_CATALOG, make_app
+
+
+@dataclass
+class Table3Result:
+    detected: dict[str, Optional[VCpuType]] = field(default_factory=dict)
+    expected: dict[str, VCpuType] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.detected:
+            return 0.0
+        hits = sum(
+            1
+            for app, got in self.detected.items()
+            if got == self.expected[app]
+        )
+        return hits / len(self.detected)
+
+
+def recognize_app(
+    app: str,
+    spec: Optional[MachineSpec] = None,
+    duration_ns: int = 2 * SEC,
+    seed: int = 5,
+) -> Optional[VCpuType]:
+    """Run one program under vTRS observation; return the detected type."""
+    spec = spec or i7_3770()
+    app_spec = APP_CATALOG[app]
+    machine = Machine(spec, seed=seed)
+    nv = 4 if app_spec.expected_type == VCpuType.CONSPIN else 1
+    pcpus = machine.topology.pcpus[:max(1, nv)]
+    pool = machine.create_pool("t3", pcpus, 30 * MS)
+    vm = machine.new_vm(app, nv, weight=256 * nv)
+    for vcpu in vm.vcpus:
+        machine.default_pool.remove_vcpu(vcpu)
+        pool.add_vcpu(vcpu)
+    make_app(app, spec, vcpus=nv).install(machine, vm)
+    for i in range(4 * len(pcpus) - nv):
+        dvm = machine.new_vm(f"d{i}", 1)
+        machine.default_pool.remove_vcpu(dvm.vcpus[0])
+        pool.add_vcpu(dvm.vcpus[0])
+        CpuBurnWorkload(f"d{i}", lolcf_profile(spec)).install(machine, dvm)
+    vtrs = VTRS(machine).attach()
+    machine.run(duration_ns)
+    types = {vtrs.type_of(vcpu) for vcpu in vm.vcpus}
+    if len(types) == 1:
+        return types.pop()
+    # mixed verdicts across the VM's vCPUs: majority wins
+    votes: dict[Optional[VCpuType], int] = {}
+    for vcpu in vm.vcpus:
+        verdict = vtrs.type_of(vcpu)
+        votes[verdict] = votes.get(verdict, 0) + 1
+    return max(votes, key=votes.get)
+
+
+def run_table3(
+    apps: Optional[Sequence[str]] = None,
+    spec: Optional[MachineSpec] = None,
+    duration_ns: int = 2 * SEC,
+    seed: int = 5,
+) -> Table3Result:
+    result = Table3Result()
+    for app in apps or sorted(APP_CATALOG):
+        result.expected[app] = APP_CATALOG[app].expected_type
+        result.detected[app] = recognize_app(
+            app, spec=spec, duration_ns=duration_ns, seed=seed
+        )
+    return result
+
+
+def render_table3(result: Table3Result) -> str:
+    table = ResultTable(
+        f"Table 3 — vTRS type recognition"
+        f" (accuracy {result.accuracy * 100:.0f}%)",
+        ["application", "paper type", "vTRS verdict", "match"],
+    )
+    for app in sorted(result.detected):
+        got = result.detected[app]
+        expected = result.expected[app]
+        table.add_row(
+            app,
+            expected.value,
+            got.value if got else "-",
+            "yes" if got == expected else "NO",
+        )
+    return table.render()
+
+
+__all__ = ["Table3Result", "recognize_app", "run_table3", "render_table3"]

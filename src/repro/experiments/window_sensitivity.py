@@ -1,0 +1,127 @@
+"""vTRS window-size sensitivity (§3.3.1).
+
+The paper: "a small value of n (e.g. 1) allows taking quickly into
+account sporadic vCPU type variations.  However ... frequent type
+variations imply frequent vCPU migrations between pCPUs, which is
+known to be negative for the performance of applications.  We have
+experimentally seen that setting n to 4 is acceptable."
+
+This experiment re-runs scenario S5 under AQL with ``n`` in
+{1, 2, 4, 8} and reports (a) scheduler churn — pool reconfigurations
+and vCPU migrations — and (b) per-class performance normalised over
+native Xen.  The expectation: churn decreases with n; n = 4 performs
+at least as well as n = 1 while migrating far less.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import AqlPolicy, XenCredit
+from repro.experiments.scenarios import SCENARIOS
+from repro.metrics.tables import ResultTable
+from repro.sim.units import SEC
+
+WINDOWS = (1, 2, 4, 8)
+
+
+@dataclass
+class WindowSensitivityResult:
+    #: n -> placement -> normalised perf vs Xen
+    normalized: dict[int, dict[str, float]] = field(default_factory=dict)
+    #: n -> pool reconfigurations applied
+    reconfigurations: dict[int, int] = field(default_factory=dict)
+    #: n -> total vCPU migrations
+    migrations: dict[int, int] = field(default_factory=dict)
+
+    def mean_normalized(self, n: int) -> float:
+        values = self.normalized[n]
+        return sum(values.values()) / len(values)
+
+
+def _run_once(policy, warmup_ns, measure_ns, seed):
+    """S5 plus one phase-shifting VM (the type-flapping stressor)."""
+    from repro.experiments.scenarios import build_scenario
+    from repro.workloads.phased import BehaviourPhase, PhasedWorkload
+
+    built = build_scenario(SCENARIOS["S5"], seed=seed)
+    machine = built.machine
+    pool = built.ctx.pool
+    assert pool is not None
+    shifter_vm = machine.new_vm("shifter", 1)
+    machine.default_pool.remove_vcpu(shifter_vm.vcpus[0])
+    pool.add_vcpu(shifter_vm.vcpus[0])
+    shifter = PhasedWorkload(
+        "shifter",
+        phases=[
+            BehaviourPhase("llco", 400_000_000),
+            BehaviourPhase("lolcf", 400_000_000),
+            BehaviourPhase("io", 400_000_000),
+        ],
+    )
+    shifter.install(machine, shifter_vm)
+    policy.setup(machine, built.ctx)
+    machine.run(warmup_ns)
+    for workload in built.workloads.values():
+        workload.begin_measurement()
+    machine.run(measure_ns)
+    machine.sync()
+    by_placement: dict[str, float] = {}
+    groups: dict[str, list[float]] = {}
+    from repro.experiments.runner import _placement_key
+
+    for name, workload in built.workloads.items():
+        groups.setdefault(_placement_key(name), []).append(
+            workload.result().value
+        )
+    for key, values in groups.items():
+        by_placement[key] = sum(values) / len(values)
+    return built, by_placement
+
+
+def run_window_sensitivity(
+    windows: tuple[int, ...] = WINDOWS,
+    warmup_ns: int = 2 * SEC,
+    measure_ns: int = 4 * SEC,
+    seed: int = 1,
+) -> WindowSensitivityResult:
+    _, xen = _run_once(XenCredit(), warmup_ns, measure_ns, seed)
+    result = WindowSensitivityResult()
+    for n in windows:
+        policy = AqlPolicy(window=n)
+        built, by_placement = _run_once(policy, warmup_ns, measure_ns, seed)
+        result.normalized[n] = {
+            key: by_placement[key] / xen[key] for key in xen
+        }
+        assert policy.manager is not None
+        result.reconfigurations[n] = policy.manager.reconfigurations
+        result.migrations[n] = sum(
+            vcpu.migrations for vcpu in built.machine.all_vcpus
+        )
+    return result
+
+
+def render_window_sensitivity(result: WindowSensitivityResult) -> str:
+    placements = sorted(next(iter(result.normalized.values())))
+    table = ResultTable(
+        "vTRS window sensitivity on S5 (normalised over Xen; churn in"
+        " reconfigurations/migrations)",
+        ["n"] + placements + ["mean", "reconfigs", "migrations"],
+    )
+    for n in sorted(result.normalized):
+        table.add_row(
+            str(n),
+            *(result.normalized[n][key] for key in placements),
+            result.mean_normalized(n),
+            result.reconfigurations[n],
+            result.migrations.get(n, 0),
+        )
+    return table.render()
+
+
+__all__ = [
+    "WINDOWS",
+    "WindowSensitivityResult",
+    "run_window_sensitivity",
+    "render_window_sensitivity",
+]

@@ -1,0 +1,53 @@
+"""Guest operating-system model.
+
+Each VM runs a :class:`~repro.guest.os.GuestOS` that multiplexes
+:class:`~repro.guest.thread.GuestThread` objects over the VM's vCPUs.
+Threads are written as Python generators yielding *phases*
+(:mod:`repro.guest.phases`): compute bursts, spin-lock critical
+sections, IO waits, sleeps.  The hypervisor machine drives the phases
+while the vCPU holds a pCPU.
+
+The spin-lock (:mod:`repro.guest.spinlock`) is a ticket lock, so both
+pathologies the paper discusses emerge naturally: *lock-holder
+preemption* (the holder's vCPU is descheduled mid-critical-section and
+every waiter burns its quantum spinning) and *lock-waiter preemption*
+(FIFO handoff grants the lock to a vCPU that is off-CPU, stalling the
+whole lock until it runs again).
+"""
+
+from repro.guest.barrier import SpinBarrier
+from repro.guest.os import GuestOS
+from repro.guest.phases import (
+    Acquire,
+    BarrierWait,
+    Compute,
+    Exit,
+    Phase,
+    Release,
+    SemAcquire,
+    SemRelease,
+    Sleep,
+    WaitEvent,
+)
+from repro.guest.semaphore import Semaphore
+from repro.guest.spinlock import SpinLock
+from repro.guest.thread import GuestThread, ThreadState
+
+__all__ = [
+    "GuestOS",
+    "GuestThread",
+    "ThreadState",
+    "SpinLock",
+    "SpinBarrier",
+    "Semaphore",
+    "Phase",
+    "Compute",
+    "Acquire",
+    "Release",
+    "SemAcquire",
+    "SemRelease",
+    "BarrierWait",
+    "WaitEvent",
+    "Sleep",
+    "Exit",
+]

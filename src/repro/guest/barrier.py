@@ -1,0 +1,62 @@
+"""Spin barriers: PARSEC-style phase synchronisation.
+
+Parallel programs of the paper's ConSpin class (facesim, fluidanimate,
+streamcluster, ...) alternate compute phases with barriers where every
+thread spin-waits for the slowest sibling.  Under consolidation the
+slowest sibling is usually a *descheduled vCPU*, so every barrier
+episode costs on the order of the quantum length while the arrived
+threads burn their own quanta spinning — the reason short quanta help
+this class (paper Fig. 2c).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.thread import GuestThread
+
+
+class SpinBarrier:
+    """A spin barrier for a fixed party count."""
+
+    def __init__(self, name: str, parties: int):
+        if parties <= 0:
+            raise ValueError("a barrier needs at least one party")
+        self.name = name
+        self.parties = parties
+        self.generation = 0
+        self._arrived: list["GuestThread"] = []
+        self.rounds_completed = 0
+
+    def arrive(self, thread: "GuestThread") -> Optional[list["GuestThread"]]:
+        """Register arrival.
+
+        Returns the list of *other* waiting threads when this arrival
+        completes the round (the caller must poke them so on-CPU
+        spinners stop immediately); returns None while the round is
+        still short of parties.
+        """
+        if thread in self._arrived:
+            raise RuntimeError(f"{thread!r} arrived twice at {self.name}")
+        self._arrived.append(thread)
+        if len(self._arrived) < self.parties:
+            return None
+        waiters = [t for t in self._arrived if t is not thread]
+        self._arrived.clear()
+        self.generation += 1
+        self.rounds_completed += 1
+        return waiters
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._arrived)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SpinBarrier {self.name} {len(self._arrived)}/{self.parties} "
+            f"gen={self.generation}>"
+        )
+
+
+__all__ = ["SpinBarrier"]

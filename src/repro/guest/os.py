@@ -1,0 +1,177 @@
+"""The guest OS scheduler: multiplexes threads over a VM's vCPUs.
+
+Threads are pinned to a vCPU when added (explicitly or to the
+least-loaded one) and each vCPU round-robins its ready threads with a
+guest-level timeslice.  This is intentionally a small model of a Linux
+guest: what matters to the paper is only (a) that a vCPU with no
+runnable thread blocks — releasing its pCPU — and (b) that several
+different thread types may take turns on one vCPU, which is why vTRS
+must re-evaluate vCPU types online.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.guest.thread import GuestThread, ThreadState
+from repro.sim.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.vm import VCpu, VM
+
+
+class GuestOS:
+    """Per-VM thread scheduler."""
+
+    def __init__(self, vm: "VM", guest_slice_ns: int = 4 * MS):
+        self.vm = vm
+        self.guest_slice_ns = guest_slice_ns
+        self._ready: dict[int, deque[GuestThread]] = {}
+        self._current: dict[int, Optional[GuestThread]] = {}
+        self._current_run_ns: dict[int, float] = {}
+        self.threads: list[GuestThread] = []
+
+    # ------------------------------------------------------------------
+    # thread management
+    # ------------------------------------------------------------------
+    def add_thread(
+        self, thread: GuestThread, vcpu: Optional["VCpu"] = None
+    ) -> GuestThread:
+        """Register a thread, pinning it to ``vcpu`` or the emptiest one."""
+        if vcpu is None:
+            vcpu = min(
+                self.vm.vcpus,
+                key=lambda v: len(self._ready.get(v.vcpu_id, ())),
+            )
+        if vcpu.vm is not self.vm:
+            raise ValueError(f"{vcpu!r} does not belong to {self.vm!r}")
+        thread.vcpu = vcpu
+        self.threads.append(thread)
+        queue = self._ready.setdefault(vcpu.vcpu_id, deque())
+        queue.append(thread)
+        thread.state = ThreadState.READY
+        return thread
+
+    # ------------------------------------------------------------------
+    # scheduling interface used by the hypervisor machine
+    # ------------------------------------------------------------------
+    def pick(self, vcpu: "VCpu") -> Optional[GuestThread]:
+        """The thread that should run next on ``vcpu`` (None = idle)."""
+        current = self._current.get(vcpu.vcpu_id)
+        if current is not None and current.runnable:
+            return current
+        return self._switch_to_next(vcpu)
+
+    def maybe_rotate(self, vcpu: "VCpu") -> Optional[GuestThread]:
+        """Rotate if the current thread exhausted its guest timeslice.
+
+        A spinning thread is never rotated away from: guest kernels
+        disable preemption while a spin lock is held or awaited, which
+        is precisely what makes lock-holder preemption a hypervisor
+        (not guest) problem.
+        """
+        current = self._current.get(vcpu.vcpu_id)
+        if current is not None and current.state == ThreadState.SPINNING:
+            return current
+        if current is None or not current.runnable:
+            return self._switch_to_next(vcpu)
+        if self._current_run_ns.get(vcpu.vcpu_id, 0.0) >= self.guest_slice_ns:
+            queue = self._ready.setdefault(vcpu.vcpu_id, deque())
+            if queue:  # someone else is waiting: yield the vCPU to them
+                queue.append(current)
+                current.state = ThreadState.READY
+                return self._switch_to_next(vcpu)
+            self._current_run_ns[vcpu.vcpu_id] = 0.0
+        return current
+
+    def note_run(self, vcpu: "VCpu", run_ns: float) -> None:
+        """Charge run time to the current thread's guest timeslice."""
+        self._current_run_ns[vcpu.vcpu_id] = (
+            self._current_run_ns.get(vcpu.vcpu_id, 0.0) + run_ns
+        )
+
+    def _switch_to_next(self, vcpu: "VCpu") -> Optional[GuestThread]:
+        queue = self._ready.setdefault(vcpu.vcpu_id, deque())
+        while queue:
+            thread = queue.popleft()
+            if thread.runnable:
+                self._current[vcpu.vcpu_id] = thread
+                self._current_run_ns[vcpu.vcpu_id] = 0.0
+                return thread
+        self._current[vcpu.vcpu_id] = None
+        return None
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+    def thread_blocked(self, thread: GuestThread) -> None:
+        """The current thread blocked (IO wait / sleep)."""
+        thread.state = ThreadState.BLOCKED
+        vcpu = thread.vcpu
+        assert vcpu is not None
+        if self._current.get(vcpu.vcpu_id) is thread:
+            self._current[vcpu.vcpu_id] = None
+
+    def thread_exited(self, thread: GuestThread) -> None:
+        thread.state = ThreadState.DONE
+        vcpu = thread.vcpu
+        assert vcpu is not None
+        if self._current.get(vcpu.vcpu_id) is thread:
+            self._current[vcpu.vcpu_id] = None
+
+    def thread_ready(self, thread: GuestThread) -> bool:
+        """Unblock a thread.  Returns True if its vCPU needs a wake-up."""
+        if thread.state != ThreadState.BLOCKED:
+            return False
+        thread.state = ThreadState.READY
+        vcpu = thread.vcpu
+        assert vcpu is not None
+        self._ready.setdefault(vcpu.vcpu_id, deque()).append(thread)
+        return True
+
+    def preempt_to(self, vcpu: "VCpu", thread: GuestThread) -> bool:
+        """Guest interrupt handling: make ``thread`` the current thread.
+
+        The displaced thread goes to the *front* of the ready queue (it
+        resumes right after the handler).  Returns True if the current
+        thread actually changed.  A SPINNING current thread is never
+        displaced (interrupts disabled around kernel spin locks).
+        """
+        if thread.vcpu is not vcpu or not thread.runnable:
+            return False
+        current = self._current.get(vcpu.vcpu_id)
+        if current is thread:
+            return False
+        if current is not None and current.state == ThreadState.SPINNING:
+            return False
+        queue = self._ready.setdefault(vcpu.vcpu_id, deque())
+        try:
+            queue.remove(thread)
+        except ValueError:
+            return False  # not queued here (e.g. still blocked)
+        if current is not None and current.runnable:
+            current.state = ThreadState.READY
+            queue.appendleft(current)
+        self._current[vcpu.vcpu_id] = thread
+        self._current_run_ns[vcpu.vcpu_id] = 0.0
+        return True
+
+    def has_runnable(self, vcpu: "VCpu") -> bool:
+        current = self._current.get(vcpu.vcpu_id)
+        if current is not None and current.runnable:
+            return True
+        return any(t.runnable for t in self._ready.get(vcpu.vcpu_id, ()))
+
+    def runnable_count(self, vcpu: "VCpu") -> int:
+        count = sum(1 for t in self._ready.get(vcpu.vcpu_id, ()) if t.runnable)
+        current = self._current.get(vcpu.vcpu_id)
+        if current is not None and current.runnable:
+            count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GuestOS vm={self.vm.name} threads={len(self.threads)}>"
+
+
+__all__ = ["GuestOS"]

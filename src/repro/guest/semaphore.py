@@ -1,0 +1,104 @@
+"""Blocking semaphores — the paper's §3.2 counterpoint to spin locks.
+
+"In the semaphore case, a blocked thread loses the processor when
+waiting for the lock to be released."  A semaphore waiter therefore
+never burns its quantum; the cost moves to the wake-up path (the
+hypervisor must schedule the waiter's vCPU again, where Credit's BOOST
+usually helps).  The sync-primitive ablation
+(:mod:`repro.experiments.sync_primitives`) contrasts the two under
+consolidation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guest.thread import GuestThread
+
+
+class SemaphoreStats:
+    """Aggregate observability, mirroring LockStats."""
+
+    def __init__(self) -> None:
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+        self.total_wait_ns = 0.0
+        self.total_hold_ns = 0.0
+
+    @property
+    def mean_duration_ns(self) -> float:
+        if self.acquisitions == 0:
+            return 0.0
+        return (self.total_wait_ns + self.total_hold_ns) / self.acquisitions
+
+
+class Semaphore:
+    """A counting semaphore whose waiters *block* (release their vCPU)."""
+
+    def __init__(self, name: str = "sem", initial: int = 1):
+        if initial < 0:
+            raise ValueError("initial count cannot be negative")
+        self.name = name
+        self.count = initial
+        self._waiters: deque["GuestThread"] = deque()
+        self.stats = SemaphoreStats()
+        self._acquired_at: dict[int, int] = {}
+        self._requested_at: dict[int, int] = {}
+
+    def try_acquire(self, thread: "GuestThread", now: int) -> bool:
+        """Take a unit if available; else join the (FIFO) wait queue.
+
+        Returns False when the thread must block; the caller (machine)
+        parks the thread, and :meth:`release` later returns it for a
+        wake-up with the unit already reserved on its behalf.
+        """
+        self._requested_at.setdefault(thread.tid, now)
+        if self.count > 0 and not self._waiters:
+            self.count -= 1
+            self._take(thread, now)
+            return True
+        if thread not in self._waiters:
+            self._waiters.append(thread)
+            self.stats.contended_acquisitions += 1
+        return False
+
+    def grant_to(self, thread: "GuestThread", now: int) -> None:
+        """Complete a handoff release() reserved for ``thread``."""
+        self._take(thread, now)
+
+    def release(self, thread: "GuestThread", now: int) -> Optional["GuestThread"]:
+        """Release a unit; returns the waiter to wake, if any.
+
+        When a waiter exists the unit is handed to it directly (it
+        never returns to ``count``), so a woken thread is guaranteed
+        its unit regardless of wake-up latency.
+        """
+        start = self._acquired_at.pop(thread.tid, None)
+        if start is None:
+            raise RuntimeError(f"{thread!r} released {self.name} without holding it")
+        self.stats.total_hold_ns += now - start
+        if self._waiters:
+            return self._waiters.popleft()
+        self.count += 1
+        return None
+
+    def _take(self, thread: "GuestThread", now: int) -> None:
+        self._acquired_at[thread.tid] = now
+        requested = self._requested_at.pop(thread.tid, now)
+        self.stats.total_wait_ns += now - requested
+        self.stats.acquisitions += 1
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Semaphore {self.name} count={self.count} "
+            f"waiters={len(self._waiters)}>"
+        )
+
+
+__all__ = ["Semaphore", "SemaphoreStats"]

@@ -1,0 +1,34 @@
+"""Hardware substrate: topology, caches, performance counters.
+
+The paper's testbeds were an Intel i7-3770 (single socket, 8 MB LLC) and
+a 4-socket Xeon E5-4603.  We model the parts of those machines that the
+paper's effects depend on:
+
+* socket/core topology (:mod:`repro.hardware.topology`),
+* a shared last-level cache per socket with per-actor occupancy and
+  proportional eviction (:mod:`repro.hardware.cache`) — this is what
+  makes quantum length matter for LLC-friendly workloads,
+* per-vCPU performance-monitoring counters (:mod:`repro.hardware.pmu`),
+* pause-loop-exit spin detection (:mod:`repro.hardware.ple`).
+"""
+
+from repro.hardware.cache import MemoryProfile, SegmentResult, SharedCache
+from repro.hardware.pmu import PmuCounters
+from repro.hardware.ple import PleDetector
+from repro.hardware.specs import CacheSpec, MachineSpec, i7_3770, xeon_e5_4603
+from repro.hardware.topology import PCpu, Socket, Topology
+
+__all__ = [
+    "CacheSpec",
+    "MachineSpec",
+    "i7_3770",
+    "xeon_e5_4603",
+    "PCpu",
+    "Socket",
+    "Topology",
+    "SharedCache",
+    "MemoryProfile",
+    "SegmentResult",
+    "PmuCounters",
+    "PleDetector",
+]

@@ -1,0 +1,62 @@
+"""Per-vCPU performance-monitoring counters.
+
+The paper's vTRS reads LLC misses, LLC references and retired
+instructions through perfctr-xen.  In the simulator every run segment's
+:class:`~repro.hardware.cache.SegmentResult` is accumulated into the
+vCPU's :class:`PmuCounters`; monitors take snapshots and compute
+per-period deltas, exactly like reading a free-running hardware counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cache import SegmentResult
+
+
+@dataclass
+class PmuSnapshot:
+    """A point-in-time copy of the free-running counters."""
+
+    instructions: float = 0.0
+    llc_refs: float = 0.0
+    llc_misses: float = 0.0
+
+
+class PmuCounters:
+    """Free-running counters; deltas are computed from snapshots."""
+
+    def __init__(self) -> None:
+        self.instructions = 0.0
+        self.llc_refs = 0.0
+        self.llc_misses = 0.0
+
+    def add_segment(self, segment: SegmentResult) -> None:
+        self.instructions += segment.instructions
+        self.llc_refs += segment.llc_refs
+        self.llc_misses += segment.llc_misses
+
+    def add(self, instructions: float, llc_refs: float, llc_misses: float) -> None:
+        self.instructions += instructions
+        self.llc_refs += llc_refs
+        self.llc_misses += llc_misses
+
+    def snapshot(self) -> PmuSnapshot:
+        return PmuSnapshot(self.instructions, self.llc_refs, self.llc_misses)
+
+    def delta_since(self, snap: PmuSnapshot) -> PmuSnapshot:
+        """Counter increments since ``snap`` was taken."""
+        return PmuSnapshot(
+            instructions=self.instructions - snap.instructions,
+            llc_refs=self.llc_refs - snap.llc_refs,
+            llc_misses=self.llc_misses - snap.llc_misses,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PMU instr={self.instructions:.0f} refs={self.llc_refs:.0f} "
+            f"miss={self.llc_misses:.0f}>"
+        )
+
+
+__all__ = ["PmuCounters", "PmuSnapshot"]

@@ -1,0 +1,93 @@
+"""Machine specifications mirroring the paper's two testbeds.
+
+Table 2 of the paper describes the calibration machine (Intel i7-3770,
+one socket, 8 cores, 8 MB 20-way LLC, 256 KB L2, 32 KB L1); the
+multi-socket experiment used a 4-socket Xeon E5-4603.  The latency
+numbers are not in the paper — they are typical figures for those parts
+and only their *ratios* matter for the reproduced effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry and timing of one cache level."""
+
+    capacity_bytes: int
+    line_bytes: int = 64
+    hit_ns: float = 0.0  # extra latency of a hit at this level
+    miss_ns: float = 0.0  # latency of going past this level (to DRAM for LLC)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive")
+        if self.line_bytes <= 0 or self.capacity_bytes % self.line_bytes:
+            raise ValueError("capacity must be a whole number of lines")
+
+    @property
+    def lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A physical machine: sockets of cores sharing an LLC each."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    freq_ghz: float
+    l1: CacheSpec = field(default_factory=lambda: CacheSpec(32 * KB))
+    l2: CacheSpec = field(default_factory=lambda: CacheSpec(256 * KB))
+    llc: CacheSpec = field(
+        default_factory=lambda: CacheSpec(8 * MB, hit_ns=12.0, miss_ns=80.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0 or self.cores_per_socket <= 0:
+            raise ValueError("sockets and cores_per_socket must be positive")
+        if self.freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.freq_ghz
+
+
+def i7_3770() -> MachineSpec:
+    """The paper's calibration machine (Table 2): 1 socket, 8 cores."""
+    return MachineSpec(
+        name="Intel Core i7-3770",
+        sockets=1,
+        cores_per_socket=8,
+        freq_ghz=3.4,
+        l1=CacheSpec(32 * KB),
+        l2=CacheSpec(256 * KB),
+        llc=CacheSpec(8 * MB, hit_ns=12.0, miss_ns=80.0),
+    )
+
+
+def xeon_e5_4603() -> MachineSpec:
+    """The paper's multi-socket machine: 4 sockets x 4 cores."""
+    return MachineSpec(
+        name="Intel Xeon E5-4603",
+        sockets=4,
+        cores_per_socket=4,
+        freq_ghz=2.0,
+        l1=CacheSpec(32 * KB),
+        l2=CacheSpec(256 * KB),
+        llc=CacheSpec(10 * MB, hit_ns=14.0, miss_ns=90.0),
+    )
+
+
+__all__ = ["KB", "MB", "CacheSpec", "MachineSpec", "i7_3770", "xeon_e5_4603"]

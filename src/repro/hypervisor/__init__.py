@@ -1,0 +1,32 @@
+"""Hypervisor model: VMs, vCPUs, CPU pools, the Credit scheduler.
+
+This package reproduces the Xen mechanisms the paper builds on:
+
+* :mod:`repro.hypervisor.vm` — VM and vCPU objects with credits,
+  priorities and per-vCPU monitoring counters;
+* :mod:`repro.hypervisor.event_channel` — the split-driver IO path:
+  requests become events that can only be consumed once the target vCPU
+  holds a pCPU;
+* :mod:`repro.hypervisor.pools` — CPU pools, each with its own quantum
+  length (the knob AQL_Sched turns);
+* :mod:`repro.hypervisor.credit` — the Credit scheduler: weights, caps,
+  10 ms accounting ticks, UNDER/OVER states, BOOST on IO wake-up,
+  round-robin run queues, intra-pool work stealing;
+* :mod:`repro.hypervisor.machine` — the execution engine that dispatches
+  vCPUs, interprets guest phases and integrates CPU/cache segments.
+"""
+
+from repro.hypervisor.event_channel import EventPort
+from repro.hypervisor.machine import Machine
+from repro.hypervisor.pools import CpuPool
+from repro.hypervisor.vm import VM, Priority, VCpu, VCpuState
+
+__all__ = [
+    "Machine",
+    "VM",
+    "VCpu",
+    "VCpuState",
+    "Priority",
+    "CpuPool",
+    "EventPort",
+]

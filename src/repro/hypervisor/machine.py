@@ -1,0 +1,758 @@
+"""The virtualized machine: dispatch, phase interpretation, integration.
+
+:class:`Machine` owns the simulator, the hardware topology, the CPU
+pools, the Credit scheduler and every VM.  It is the *mechanism* layer:
+it dispatches the vCPU the scheduler picked, interprets the guest
+thread's current phase (compute / spin / IO wait / sleep), and — at
+every segment boundary (preemption, tick, phase completion, block) —
+integrates the elapsed CPU time through the socket's LLC model,
+crediting instructions to the thread and counter increments to the
+vCPU's PMU.
+
+The flow mirrors Xen: ``wake -> enqueue (maybe BOOST-preempt) ->
+dispatch with the pool's quantum -> run segments bounded by 10 ms ticks
+-> quantum expiry or voluntary block -> reschedule``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.guest.os import GuestOS
+from repro.guest.phases import (
+    Acquire,
+    BarrierWait,
+    Compute,
+    Exit,
+    Release,
+    SemAcquire,
+    SemRelease,
+    Sleep,
+    WaitEvent,
+)
+from repro.guest.thread import GuestThread, ThreadState
+from repro.hardware.cache import (
+    estimate_duration_ns,
+    integrate_duration,
+)
+from repro.hardware.specs import MachineSpec, i7_3770
+from repro.hardware.topology import PCpu, Topology
+from repro.hypervisor.credit import CreditParams, CreditScheduler, RunQueue
+from repro.hypervisor.event_channel import EventPort
+from repro.hypervisor.pools import CpuPool, PoolPlan
+from repro.hypervisor.vm import VM, Priority, VCpu, VCpuState
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.sim.tracing import TraceRecorder
+from repro.sim.units import MS
+
+#: A compute phase with fewer remaining instructions than this is done.
+_PHASE_DONE_TOLERANCE = 0.5
+#: Never schedule a completion event closer than this (avoids event storms
+#: when an estimate rounds to ~zero).
+_MIN_COMPLETION_DELAY_NS = 200
+
+
+class PCpuContext:
+    """Scheduling state the hypervisor keeps per physical core."""
+
+    __slots__ = ("pcpu", "pool", "current", "runq")
+
+    def __init__(self, pcpu: PCpu, pool: CpuPool):
+        self.pcpu = pcpu
+        self.pool = pool
+        self.current: Optional[VCpu] = None
+        self.runq = RunQueue()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cur = self.current.name if self.current else "idle"
+        return f"<ctx {self.pcpu!r} {cur} q={len(self.runq)}>"
+
+
+class Machine:
+    """A virtualized multi-core machine under the Credit scheduler."""
+
+    def __init__(
+        self,
+        spec: Optional[MachineSpec] = None,
+        *,
+        seed: int = 0,
+        default_quantum_ns: int = 30 * MS,
+        boost_enabled: bool = True,
+        tick_ns: int = 10 * MS,
+        accounting_ns: int = 30 * MS,
+        trace: Optional[TraceRecorder] = None,
+        cache_substeps: int = 8,
+    ):
+        self.spec = spec or i7_3770()
+        self.sim = Simulator()
+        self.topology = Topology(self.spec)
+        self.rng = RngFactory(seed)
+        # note: `trace or default` would drop an *empty* recorder
+        # (TraceRecorder defines __len__), so compare with None
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.params = CreditParams(
+            tick_ns=tick_ns,
+            accounting_ns=accounting_ns,
+            boost_enabled=boost_enabled,
+        )
+        self.cache_substeps = cache_substeps
+        self._llc_hit_ns = self.spec.llc.hit_ns
+        self._llc_miss_ns = self.spec.llc.miss_ns
+
+        self.pools: list[CpuPool] = []
+        self._next_pool_id = 0
+        self.default_pool = self.create_pool(
+            "pool0", self.topology.pcpus, default_quantum_ns
+        )
+        self.contexts: dict[PCpu, PCpuContext] = {
+            pcpu: PCpuContext(pcpu, self.default_pool)
+            for pcpu in self.topology.pcpus
+        }
+        self.scheduler = CreditScheduler(self, self.params)
+
+        self.vms: list[VM] = []
+        self._next_vcpu_id = 0
+        self._next_vm_id = 0
+        self._started = False
+        #: runnable vCPUs parked by cap throttling, re-queued at the
+        #: next accounting once their VM is under its cap again
+        self._parked: list[VCpu] = []
+
+    # ==================================================================
+    # construction API
+    # ==================================================================
+    def create_pool(
+        self, name: str, pcpus: Iterable[PCpu], quantum_ns: int
+    ) -> CpuPool:
+        """Create a pool, taking ownership of ``pcpus`` from their old pools."""
+        pool = CpuPool(self._next_pool_id, name, quantum_ns)
+        self._next_pool_id += 1
+        contexts = getattr(self, "contexts", None)
+        for pcpu in pcpus:
+            for other in self.pools:
+                if pcpu in other.pcpus:
+                    other.remove_pcpu(pcpu)
+            pool.add_pcpu(pcpu)
+            if contexts is not None and pcpu in contexts:
+                contexts[pcpu].pool = pool
+        self.pools.append(pool)
+        return pool
+
+    def new_vm(
+        self,
+        name: str,
+        vcpus: int = 1,
+        weight: int = 256,
+        cap: Optional[int] = None,
+        pool: Optional[CpuPool] = None,
+    ) -> VM:
+        """Create a VM, attach a guest OS, place its vCPUs in ``pool``."""
+        vm = VM(
+            self._next_vm_id,
+            name,
+            vcpus,
+            weight=weight,
+            cap=cap,
+            first_vcpu_id=self._next_vcpu_id,
+        )
+        self._next_vm_id += 1
+        self._next_vcpu_id += vcpus
+        vm.guest = GuestOS(vm)
+        target = pool or self.default_pool
+        for vcpu in vm.vcpus:
+            target.add_vcpu(vcpu)
+        self.vms.append(vm)
+        return vm
+
+    def new_port(self, vcpu: VCpu, name: str) -> EventPort:
+        return EventPort(name, vcpu, self.wake_vcpu, self.guest_interrupt)
+
+    @property
+    def all_vcpus(self) -> list[VCpu]:
+        return [vcpu for vm in self.vms for vcpu in vm.vcpus]
+
+    # ==================================================================
+    # running
+    # ==================================================================
+    def start(self) -> None:
+        """Arm ticks/accounting and wake every vCPU with runnable work."""
+        if self._started:
+            return
+        self._started = True
+        for pcpu in self.topology.pcpus:
+            self._schedule_tick(self.contexts[pcpu])
+        self._schedule_accounting()
+        for vcpu in self.all_vcpus:
+            guest = vcpu.vm.guest
+            if guest is not None and guest.has_runnable(vcpu):
+                self.wake_vcpu(vcpu)
+
+    def run(self, duration_ns: int) -> None:
+        """Advance virtual time by ``duration_ns``."""
+        if not self._started:
+            self.start()
+        self.sim.run_until(self.sim.now + int(duration_ns))
+
+    def sync(self) -> None:
+        """Integrate every running vCPU up to 'now'.
+
+        Monitors call this before reading counters so that deltas cover
+        exactly one period.
+        """
+        for ctx in self.contexts.values():
+            if ctx.current is not None:
+                self._integrate(ctx.current)
+
+    def every(
+        self, period_ns: int, fn: Callable[[], None], label: str = "periodic"
+    ) -> None:
+        """Invoke ``fn`` every ``period_ns`` of virtual time, forever."""
+
+        def fire() -> None:
+            fn()
+            self.sim.after(period_ns, fire, label)
+
+        self.sim.after(period_ns, fire, label)
+
+    # ==================================================================
+    # scheduler entry points
+    # ==================================================================
+    def wake_vcpu(self, vcpu: VCpu) -> None:
+        """An event made ``vcpu`` runnable (IO arrival, sleep expiry)."""
+        if vcpu.state != VCpuState.BLOCKED:
+            return
+        guest = vcpu.vm.guest
+        if guest is None or not guest.has_runnable(vcpu):
+            return
+        if vcpu.throttled:
+            vcpu.state = VCpuState.RUNNABLE
+            self._parked.append(vcpu)
+            return
+        if self.scheduler.boost_eligible(vcpu):
+            vcpu.priority = Priority.BOOST
+        else:
+            vcpu.priority = self.scheduler.priority_for(vcpu)
+        ctx = self.scheduler.enqueue(vcpu, front=vcpu.priority == Priority.BOOST)
+        self.trace.emit(self.sim.now, "wake", vcpu=vcpu.name, boost=vcpu.priority == Priority.BOOST)
+        self._kick(ctx)
+
+    def _kick(self, ctx: PCpuContext) -> None:
+        """Dispatch if idle; preempt if a strictly better vCPU is queued."""
+        if ctx.current is None:
+            self._reschedule(ctx)
+            return
+        best = ctx.runq.best_priority()
+        if best is not None and best < ctx.current.priority:
+            self._reschedule(ctx, requeue_front=True)
+
+    # ==================================================================
+    # dispatch / deschedule
+    # ==================================================================
+    def _reschedule(self, ctx: PCpuContext, requeue_front: bool = False) -> None:
+        current = ctx.current
+        if current is not None:
+            self._integrate(current)
+            self._cancel_events(current)
+            current.state = VCpuState.RUNNABLE
+            current.pcpu = None
+            current.segment_kind = None
+            ctx.current = None
+            current.priority = self.scheduler.priority_for(current)
+            self.trace.emit(self.sim.now, "desched", vcpu=current.name)
+            if current.throttled:
+                self._parked.append(current)
+            else:
+                ctx.runq.push(current, front=requeue_front)
+        nxt = self.scheduler.pick_next(ctx)
+        if nxt is not None:
+            self._dispatch(ctx, nxt)
+
+    def _dispatch(self, ctx: PCpuContext, vcpu: VCpu) -> None:
+        vcpu.state = VCpuState.RUNNING
+        vcpu.pcpu = ctx.pcpu
+        vcpu.last_pcpu = ctx.pcpu
+        vcpu.dispatch_count += 1
+        vcpu.exhausted_last_quantum = False
+        ctx.current = vcpu
+        quantum = vcpu.quantum_override or ctx.pool.quantum_ns
+        vcpu.quantum_event = self.sim.after(
+            quantum, lambda: self._on_quantum_expire(ctx, vcpu), "quantum"
+        )
+        vcpu.segment_start = self.sim.now
+        self.trace.emit(
+            self.sim.now, "dispatch", vcpu=vcpu.name, pcpu=ctx.pcpu.cpu_id, quantum=quantum
+        )
+        self._start_segment(vcpu)
+
+    def _on_quantum_expire(self, ctx: PCpuContext, vcpu: VCpu) -> None:
+        if ctx.current is not vcpu:  # stale event
+            return
+        vcpu.exhausted_last_quantum = True
+        self.trace.emit(self.sim.now, "preempt", vcpu=vcpu.name)
+        self._reschedule(ctx)
+
+    def _block_vcpu(self, vcpu: VCpu) -> None:
+        """No runnable guest thread: give up the pCPU."""
+        assert vcpu.pcpu is not None
+        ctx = self.contexts[vcpu.pcpu]
+        self._integrate(vcpu)
+        self._cancel_events(vcpu)
+        vcpu.state = VCpuState.BLOCKED
+        vcpu.exhausted_last_quantum = False  # voluntary yield: BOOST-eligible
+        vcpu.pcpu = None
+        vcpu.segment_kind = None
+        vcpu.current_thread = None
+        ctx.current = None
+        self.trace.emit(self.sim.now, "block", vcpu=vcpu.name)
+        self._reschedule(ctx)
+
+    def _cancel_events(self, vcpu: VCpu) -> None:
+        if vcpu.quantum_event is not None:
+            vcpu.quantum_event.cancel()
+            vcpu.quantum_event = None
+        if vcpu.completion_event is not None:
+            vcpu.completion_event.cancel()
+            vcpu.completion_event = None
+
+    # ==================================================================
+    # phase interpretation
+    # ==================================================================
+    def _start_segment(self, vcpu: VCpu) -> None:
+        """Interpret guest phases until one occupies the CPU (or blocks).
+
+        Zero-duration phases (lock ops, event consumption, sleeps,
+        exits) resolve inline; the loop ends when a compute or spin
+        phase begins, or the vCPU blocks for lack of runnable threads.
+        """
+        assert vcpu.pcpu is not None
+        guest = vcpu.vm.guest
+        assert guest is not None
+        now = self.sim.now
+        vcpu.segment_start = now
+        vcpu.segment_kind = None
+        while True:
+            if vcpu.state != VCpuState.RUNNING or vcpu.pcpu is None:
+                return  # a phase handler's side effect descheduled us
+            thread = guest.maybe_rotate(vcpu)
+            if thread is None:
+                self._block_vcpu(vcpu)
+                return
+            vcpu.current_thread = thread
+            phase = thread.current_phase()
+
+            if isinstance(phase, Compute):
+                self._enter_compute(vcpu, thread, phase)
+                return
+
+            if isinstance(phase, Acquire):
+                if phase.requested_at is None:
+                    phase.requested_at = now
+                if phase.lock.try_acquire(thread, now):
+                    vcpu.vm.spin_notifications += 1.0
+                    thread.advance_phase()
+                    continue
+                self._enter_spin(vcpu, thread)
+                return
+
+            if isinstance(phase, Release):
+                beneficiary = phase.lock.release(thread, now)
+                thread.advance_phase()
+                if beneficiary is not None:
+                    self._poke_spinner(beneficiary)
+                continue
+
+            if isinstance(phase, SemAcquire):
+                if phase.granted:
+                    # a releaser handed us the unit while we slept
+                    phase.semaphore.grant_to(thread, now)
+                    phase.granted = False
+                    thread.advance_phase()
+                    continue
+                if phase.semaphore.try_acquire(thread, now):
+                    thread.advance_phase()
+                    continue
+                guest.thread_blocked(thread)
+                continue  # blocked: try another thread on this vCPU
+
+            if isinstance(phase, SemRelease):
+                waiter = phase.semaphore.release(thread, now)
+                thread.advance_phase()
+                if waiter is not None:
+                    waiter_phase = waiter.phase
+                    assert isinstance(waiter_phase, SemAcquire)
+                    waiter_phase.granted = True
+                    # defer the wake-up one event-loop turn: waking
+                    # synchronously could BOOST-preempt *this* vCPU
+                    # while its segment is still being set up
+                    self.sim.after(
+                        0,
+                        lambda w=waiter: self._thread_timer_wake(w),
+                        "sem-wake",
+                    )
+                continue
+
+            if isinstance(phase, BarrierWait):
+                barrier = phase.barrier
+                if phase.generation is None:
+                    released = barrier.arrive(thread)
+                    if released is not None:
+                        # this arrival completed the round
+                        thread.advance_phase()
+                        for waiter in released:
+                            self._poke_spinner(waiter)
+                        continue
+                    phase.generation = barrier.generation
+                    self._enter_spin(vcpu, thread)
+                    return
+                if barrier.generation != phase.generation:
+                    # released while this vCPU was off-CPU or spinning
+                    thread.advance_phase()
+                    continue
+                self._enter_spin(vcpu, thread)  # still waiting
+                return
+
+            if isinstance(phase, WaitEvent):
+                ok, payload = phase.port.try_consume()
+                if ok:
+                    phase.payload = payload
+                    thread.advance_phase()
+                    continue
+                if (
+                    phase.port.waiter is not None
+                    and phase.port.waiter is not thread
+                ):
+                    raise RuntimeError(
+                        f"{phase.port.name}: one waiter per port "
+                        f"({phase.port.waiter!r} already waiting; use one "
+                        f"port per server thread)"
+                    )
+                phase.port.waiter = thread
+                guest.thread_blocked(thread)
+                continue  # try another thread on this vCPU
+
+            if isinstance(phase, Sleep):
+                if phase.expired:
+                    thread.advance_phase()
+                    continue
+                if not phase.started:
+                    phase.started = True
+                    guest.thread_blocked(thread)
+                    self.sim.after(
+                        phase.duration_ns,
+                        lambda t=thread, p=phase: self._sleep_expired(t, p),
+                        "sleep",
+                    )
+                else:  # spurious visit while still sleeping
+                    guest.thread_blocked(thread)
+                continue
+
+            if isinstance(phase, Exit):
+                thread.finished_at = now
+                guest.thread_exited(thread)
+                continue
+
+            raise TypeError(f"unknown phase {phase!r}")
+
+    def _enter_compute(self, vcpu: VCpu, thread: GuestThread, phase: Compute) -> None:
+        if thread.started_at is None:
+            thread.started_at = self.sim.now
+        thread.state = ThreadState.RUNNING
+        vcpu.segment_kind = "compute"
+        vcpu.segment_start = self.sim.now
+        self._handle_thread_migration(thread, vcpu)
+        self._arm_completion(vcpu, thread, phase)
+
+    def _enter_spin(self, vcpu: VCpu, thread: GuestThread) -> None:
+        if thread.started_at is None:
+            thread.started_at = self.sim.now
+        thread.state = ThreadState.SPINNING
+        vcpu.segment_kind = "spin"
+        vcpu.segment_start = self.sim.now
+        # No completion event: the spin ends when the holder releases
+        # (poke) or when this vCPU is preempted.
+
+    def _arm_completion(self, vcpu: VCpu, thread: GuestThread, phase: Compute) -> None:
+        assert vcpu.pcpu is not None
+        cache = vcpu.pcpu.socket.llc
+        estimate = estimate_duration_ns(
+            cache,
+            thread,
+            thread.effective_profile(),
+            phase.remaining,
+            self._llc_hit_ns,
+            self._llc_miss_ns,
+        )
+        delay = max(int(estimate), _MIN_COMPLETION_DELAY_NS)
+        if vcpu.completion_event is not None:
+            vcpu.completion_event.cancel()
+        vcpu.completion_event = self.sim.after(
+            delay, lambda: self._on_phase_complete(vcpu, thread, phase), "compute-done"
+        )
+
+    def _on_phase_complete(self, vcpu: VCpu, thread: GuestThread, phase: Compute) -> None:
+        if vcpu.current_thread is not thread or thread.phase is not phase:
+            return  # stale event
+        if vcpu.state != VCpuState.RUNNING:
+            return
+        self._integrate(vcpu)
+        vcpu.completion_event = None
+        if phase.remaining <= _PHASE_DONE_TOLERANCE:
+            phase.remaining = 0.0
+            thread.advance_phase()
+            self._start_segment(vcpu)
+        else:
+            # the cache was colder than estimated: keep going
+            self._arm_completion(vcpu, thread, phase)
+
+    def _handle_thread_migration(self, thread: GuestThread, vcpu: VCpu) -> None:
+        """Evict the stale LLC footprint when a thread changes socket."""
+        assert vcpu.pcpu is not None
+        socket = vcpu.pcpu.socket
+        if thread.last_socket is not None and thread.last_socket is not socket:
+            thread.last_socket.llc.evict_actor(thread)
+        thread.last_socket = socket
+
+    # ==================================================================
+    # spin-lock wiring
+    # ==================================================================
+    def _poke_spinner(self, thread: GuestThread) -> None:
+        """A lock was granted to ``thread``; stop its spin if it is on-CPU.
+
+        If its vCPU is descheduled the grant sits until that vCPU runs —
+        the lock-waiter-preemption stall the paper measures.
+        """
+        vcpu = thread.vcpu
+        if vcpu is None:
+            return
+        if (
+            thread.state == ThreadState.SPINNING
+            and vcpu.state == VCpuState.RUNNING
+            and vcpu.current_thread is thread
+        ):
+            self._integrate(vcpu)
+            self._start_segment(vcpu)
+
+    def guest_interrupt(self, vcpu: VCpu, thread: GuestThread) -> None:
+        """An event arrived for ``thread`` while its vCPU is not blocked.
+
+        The guest OS switches to the handler thread: immediately if the
+        vCPU holds a pCPU (integrate, switch, restart the segment), or
+        by re-ordering the guest run queue so the handler runs first at
+        the next dispatch.
+        """
+        guest = vcpu.vm.guest
+        assert guest is not None
+        if vcpu.state == VCpuState.RUNNING:
+            if vcpu.current_thread is thread:
+                return
+            self._integrate(vcpu)
+            if guest.preempt_to(vcpu, thread):
+                if vcpu.completion_event is not None:
+                    vcpu.completion_event.cancel()
+                    vcpu.completion_event = None
+                self._start_segment(vcpu)
+        else:
+            guest.preempt_to(vcpu, thread)
+
+    def _sleep_expired(self, thread: GuestThread, phase: Sleep) -> None:
+        phase.expired = True
+        self._thread_timer_wake(thread)
+
+    def _thread_timer_wake(self, thread: GuestThread) -> None:
+        vcpu = thread.vcpu
+        if vcpu is None or thread.done:
+            return
+        guest = vcpu.vm.guest
+        assert guest is not None
+        if guest.thread_ready(thread):
+            if vcpu.state == VCpuState.BLOCKED:
+                self.wake_vcpu(vcpu)
+
+    # ==================================================================
+    # integration
+    # ==================================================================
+    def _integrate(self, vcpu: VCpu) -> None:
+        """Account the elapsed run segment of a RUNNING vCPU."""
+        now = self.sim.now
+        elapsed = now - vcpu.segment_start
+        if elapsed <= 0 or vcpu.segment_kind is None:
+            vcpu.segment_start = now
+            return
+        thread = vcpu.current_thread
+        assert thread is not None and vcpu.pcpu is not None
+        guest = vcpu.vm.guest
+        assert guest is not None
+
+        if vcpu.segment_kind == "compute":
+            cache = vcpu.pcpu.socket.llc
+            profile = thread.effective_profile()
+            segment = integrate_duration(
+                cache,
+                thread,
+                profile,
+                float(elapsed),
+                self._llc_hit_ns,
+                self._llc_miss_ns,
+                substeps=self.cache_substeps,
+            )
+            vcpu.pmu.add_segment(segment)
+            thread.instructions_retired += segment.instructions
+            phase = thread.phase
+            if isinstance(phase, Compute):
+                phase.remaining = max(0.0, phase.remaining - segment.instructions)
+        elif vcpu.segment_kind == "spin":
+            # spin time is evidence for the PLE detector, not the PMU: a
+            # PAUSE loop retires (essentially) no workload instructions
+            # and produces no LLC traffic
+            vcpu.ple.note_spin(float(elapsed))
+            thread.spin_ns += elapsed
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"bad segment kind {vcpu.segment_kind!r}")
+
+        thread.run_ns += elapsed
+        guest.note_run(vcpu, elapsed)
+        vcpu.charge_run(elapsed)
+        self.scheduler.burn(vcpu, float(elapsed))
+        vcpu.segment_start = now
+
+    # ==================================================================
+    # periodic machinery
+    # ==================================================================
+    def _schedule_tick(self, ctx: PCpuContext) -> None:
+        self.sim.after(self.params.tick_ns, lambda: self._on_tick(ctx), "tick")
+
+    def _on_tick(self, ctx: PCpuContext) -> None:
+        current = ctx.current
+        if current is not None:
+            self._integrate(current)
+            self.scheduler.on_tick(ctx)
+            if ctx.current is current:  # might have changed (defensive)
+                best = ctx.runq.best_priority()
+                if best is not None and best < current.priority:
+                    self._reschedule(ctx)
+                else:
+                    self._tick_refresh(ctx, current)
+        self._schedule_tick(ctx)
+
+    def _tick_refresh(self, ctx: PCpuContext, vcpu: VCpu) -> None:
+        """At a tick boundary: rotate guest threads, refresh estimates."""
+        guest = vcpu.vm.guest
+        assert guest is not None
+        thread = vcpu.current_thread
+        if thread is not None and thread.state == ThreadState.SPINNING:
+            return  # do not disturb a spinner
+        rotated = guest.maybe_rotate(vcpu)
+        if rotated is not thread:
+            if vcpu.completion_event is not None:
+                vcpu.completion_event.cancel()
+                vcpu.completion_event = None
+            self._start_segment(vcpu)
+            return
+        phase = thread.phase if thread is not None else None
+        if isinstance(phase, Compute) and thread is not None:
+            self._arm_completion(vcpu, thread, phase)
+
+    def _schedule_accounting(self) -> None:
+        self.sim.after(self.params.accounting_ns, self._on_accounting, "accounting")
+
+    def _on_accounting(self) -> None:
+        self.sync()
+        self.scheduler.on_accounting(self.all_vcpus)
+        # park freshly-throttled vCPUs: running ones are descheduled,
+        # queued ones pulled out of their run queues
+        for ctx in self.contexts.values():
+            if ctx.current is not None and ctx.current.throttled:
+                self._reschedule(ctx)
+        for vcpu in self.all_vcpus:
+            if (
+                vcpu.throttled
+                and vcpu.state == VCpuState.RUNNABLE
+                and vcpu not in self._parked
+            ):
+                for ctx in self.contexts.values():
+                    if ctx.runq.remove(vcpu):
+                        break
+                self._parked.append(vcpu)
+        # un-park vCPUs whose VM is back under its cap
+        still_parked: list[VCpu] = []
+        for vcpu in self._parked:
+            if vcpu.throttled:
+                still_parked.append(vcpu)
+                continue
+            ctx = self.scheduler.enqueue(vcpu)
+            self._kick(ctx)
+        self._parked = still_parked
+        for ctx in self.contexts.values():
+            if ctx.current is not None:
+                best = ctx.runq.best_priority()
+                if best is not None and best < ctx.current.priority:
+                    self._reschedule(ctx)
+            elif len(ctx.runq):
+                self._reschedule(ctx)
+        self._schedule_accounting()
+
+    # ==================================================================
+    # pool reconfiguration (what AQL drives)
+    # ==================================================================
+    def apply_pool_plan(self, plan: PoolPlan) -> None:
+        """Atomically install a new pool layout.
+
+        Every running vCPU is descheduled (with exact integration), all
+        queues drained, pools rebuilt, and every runnable vCPU re-queued
+        in its new pool.  Blocked vCPUs simply change pool membership.
+        """
+        plan.validate(self.topology.pcpus, self.all_vcpus)
+        self.sync()
+
+        old_pool_pcpus = {
+            vcpu: tuple(vcpu.pool.pcpus) if vcpu.pool else ()
+            for vcpu in self.all_vcpus
+        }
+
+        runnable: list[VCpu] = []
+        for ctx in self.contexts.values():
+            current = ctx.current
+            if current is not None:
+                self._integrate(current)
+                self._cancel_events(current)
+                current.state = VCpuState.RUNNABLE
+                current.priority = self.scheduler.priority_for(current)
+                current.pcpu = None
+                current.segment_kind = None
+                ctx.current = None
+                self.trace.emit(self.sim.now, "desched", vcpu=current.name)
+                runnable.append(current)
+            runnable.extend(ctx.runq.drain())
+
+        self.pools = []
+        for name, pcpus, quantum_ns, vcpus in plan.entries:
+            pool = self.create_pool(name, pcpus, quantum_ns)
+            for pcpu in pcpus:
+                self.contexts[pcpu].pool = pool
+            for vcpu in vcpus:
+                pool.add_vcpu(vcpu)
+                if tuple(pool.pcpus) != old_pool_pcpus[vcpu]:
+                    vcpu.migrations += 1
+        if self.pools:
+            self.default_pool = self.pools[0]
+
+        for vcpu in runnable:
+            if vcpu.throttled:
+                if vcpu not in self._parked:
+                    self._parked.append(vcpu)
+                continue
+            self.scheduler.enqueue(vcpu)
+        for ctx in self.contexts.values():
+            if ctx.current is None and len(ctx.runq):
+                self._reschedule(ctx)
+        self.trace.emit(self.sim.now, "pool-plan", pools=len(plan))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Machine {self.spec.name} t={self.sim.now} vms={len(self.vms)} "
+            f"pools={len(self.pools)}>"
+        )
+
+
+__all__ = ["Machine", "PCpuContext"]

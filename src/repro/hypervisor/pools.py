@@ -1,0 +1,125 @@
+"""CPU pools: disjoint pCPU sets, each with its own quantum length.
+
+AQL_Sched's clustering output is a pool layout: every pCPU belongs to
+exactly one pool, every vCPU is assigned to a pool, and each pool's
+scheduler runs with the cluster's quantum length.  Following the
+paper's implementation trick (§4.3) the scheduler state is shared, so
+moving a vCPU between pools costs nothing beyond re-queueing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.sim.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.topology import PCpu
+    from repro.hypervisor.vm import VCpu
+
+
+class CpuPool:
+    """A set of pCPUs scheduled with one quantum length."""
+
+    def __init__(self, pool_id: int, name: str, quantum_ns: int = 30 * MS):
+        if quantum_ns <= 0:
+            raise ValueError("quantum must be positive")
+        self.pool_id = pool_id
+        self.name = name
+        self.quantum_ns = quantum_ns
+        self.pcpus: list["PCpu"] = []
+        self.vcpus: set["VCpu"] = set()
+
+    def add_pcpu(self, pcpu: "PCpu") -> None:
+        if pcpu not in self.pcpus:
+            self.pcpus.append(pcpu)
+
+    def remove_pcpu(self, pcpu: "PCpu") -> None:
+        self.pcpus.remove(pcpu)
+
+    def add_vcpu(self, vcpu: "VCpu") -> None:
+        self.vcpus.add(vcpu)
+        vcpu.pool = self
+
+    def remove_vcpu(self, vcpu: "VCpu") -> None:
+        self.vcpus.discard(vcpu)
+        if vcpu.pool is self:
+            vcpu.pool = None
+
+    @property
+    def load(self) -> float:
+        """vCPUs per pCPU — the fairness ratio the clustering preserves."""
+        if not self.pcpus:
+            return float("inf") if self.vcpus else 0.0
+        return len(self.vcpus) / len(self.pcpus)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.vcpus or item in self.pcpus
+
+    def __repr__(self) -> str:
+        return (
+            f"<CpuPool {self.name} q={self.quantum_ns // MS}ms "
+            f"pcpus={len(self.pcpus)} vcpus={len(self.vcpus)}>"
+        )
+
+
+class PoolPlan:
+    """A desired pool layout, produced by clustering and applied atomically.
+
+    ``entries`` maps a pool label to (pcpu list, quantum, vcpu list).
+    :meth:`validate` enforces the structural invariants before the
+    machine applies anything.
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[str, list["PCpu"], int, list["VCpu"]]] = []
+
+    def add(
+        self,
+        name: str,
+        pcpus: Iterable["PCpu"],
+        quantum_ns: int,
+        vcpus: Iterable["VCpu"],
+    ) -> None:
+        self.entries.append((name, list(pcpus), int(quantum_ns), list(vcpus)))
+
+    def validate(self, all_pcpus: Iterable["PCpu"], all_vcpus: Iterable["VCpu"]) -> None:
+        """Check: pCPUs partitioned, every vCPU placed exactly once."""
+        seen_pcpus: set = set()
+        seen_vcpus: set = set()
+        for name, pcpus, quantum_ns, vcpus in self.entries:
+            if quantum_ns <= 0:
+                raise ValueError(f"pool {name!r}: non-positive quantum")
+            if not pcpus and vcpus:
+                raise ValueError(f"pool {name!r}: vCPUs but no pCPUs")
+            for pcpu in pcpus:
+                if pcpu in seen_pcpus:
+                    raise ValueError(f"pCPU {pcpu!r} in two pools")
+                seen_pcpus.add(pcpu)
+            for vcpu in vcpus:
+                if vcpu in seen_vcpus:
+                    raise ValueError(f"vCPU {vcpu!r} in two pools")
+                seen_vcpus.add(vcpu)
+        missing = [v for v in all_vcpus if v not in seen_vcpus]
+        if missing:
+            raise ValueError(f"plan leaves vCPUs unplaced: {missing}")
+        all_pcpu_set = set(all_pcpus)
+        extra_pcpus = [p for p in seen_pcpus if p not in all_pcpu_set]
+        if extra_pcpus:
+            raise ValueError(f"plan references foreign pCPUs: {extra_pcpus}")
+        uncovered = [p for p in all_pcpu_set if p not in seen_pcpus]
+        if uncovered:
+            raise ValueError(f"plan leaves pCPUs unassigned: {uncovered}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(
+            f"{name}(q={q // MS}ms,{len(ps)}p,{len(vs)}v)"
+            for name, ps, q, vs in self.entries
+        )
+        return f"<PoolPlan {parts}>"
+
+
+__all__ = ["CpuPool", "PoolPlan"]

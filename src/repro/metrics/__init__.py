@@ -1,0 +1,12 @@
+"""Result handling: normalisation and paper-style tables."""
+
+from repro.metrics.stats import MachineStats, StatsCollector
+from repro.metrics.tables import ResultTable, format_quantum, normalize_map
+
+__all__ = [
+    "ResultTable",
+    "normalize_map",
+    "format_quantum",
+    "MachineStats",
+    "StatsCollector",
+]

@@ -1,0 +1,82 @@
+"""CSV export for experiment results.
+
+Every experiment returns plain dataclasses; these helpers flatten them
+into rows so results can leave the library for plotting (the paper's
+figures are line/bar charts over exactly these series).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.calibration import CalibrationResult
+    from repro.experiments.runner import ScenarioRun
+
+Row = Mapping[str, object]
+
+
+def write_csv(path: Union[str, Path], rows: Iterable[Row]) -> Path:
+    """Write dict-rows to ``path``; the header is the union of keys."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("nothing to export")
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def calibration_rows(result: "CalibrationResult") -> list[dict]:
+    """Fig. 2 as rows: one per (kind, quantum, consolidation)."""
+    rows = []
+    for (kind, quantum_ms, vcpus_per_pcpu), value in sorted(result.raw.items()):
+        rows.append(
+            {
+                "kind": kind,
+                "quantum_ms": quantum_ms,
+                "vcpus_per_pcpu": vcpus_per_pcpu,
+                "raw": value,
+                "normalized": result.normalized[
+                    (kind, quantum_ms, vcpus_per_pcpu)
+                ],
+            }
+        )
+    for quantum_ms, duration in sorted(result.lock_duration_ns.items()):
+        rows.append(
+            {
+                "kind": "lock_duration",
+                "quantum_ms": quantum_ms,
+                "raw": duration,
+            }
+        )
+    return rows
+
+
+def scenario_rows(run: "ScenarioRun") -> list[dict]:
+    """A scenario run as rows: one per measured application."""
+    rows = []
+    for name, result in sorted(run.results.items()):
+        row = {
+            "scenario": run.scenario,
+            "policy": run.policy,
+            "application": name,
+            "metric": result.metric,
+            "value": result.value,
+        }
+        row.update({f"detail_{k}": v for k, v in result.details})
+        rows.append(row)
+    return rows
+
+
+__all__ = ["write_csv", "calibration_rows", "scenario_rows"]

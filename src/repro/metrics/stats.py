@@ -1,0 +1,127 @@
+"""Machine-level statistics: utilization, fairness, scheduler activity.
+
+A :class:`StatsCollector` snapshots a machine at window start and
+produces a :class:`MachineStats` summary at the end — the numbers an
+operator would pull from ``xentop``/``xl`` to sanity-check a scheduler:
+per-vCPU CPU shares, pool utilization, dispatch/migration counts, IO
+and spin totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.machine import Machine
+
+
+@dataclass
+class MachineStats:
+    """Summary over one observation window."""
+
+    window_ns: int
+    #: vcpu name -> fraction of the window it held a pCPU
+    cpu_share: dict[str, float] = field(default_factory=dict)
+    #: pool name -> busy fraction of its pCPUs
+    pool_utilization: dict[str, float] = field(default_factory=dict)
+    dispatches: int = 0
+    migrations: int = 0
+    io_events: float = 0.0
+    spin_notifications: float = 0.0
+    total_instructions: float = 0.0
+
+    @property
+    def machine_utilization(self) -> float:
+        """Busy fraction across every pCPU."""
+        if not self.pool_utilization:
+            return 0.0
+        # weight pools equally by reconstructing from shares instead:
+        return min(1.0, sum(self.cpu_share.values()) / max(
+            1, self._pcpu_count
+        ))
+
+    _pcpu_count: int = 0
+
+    def jain_fairness(self) -> float:
+        """Jain's fairness index over per-vCPU shares (1.0 = equal)."""
+        shares = [s for s in self.cpu_share.values()]
+        if not shares:
+            return 1.0
+        total = sum(shares)
+        squares = sum(s * s for s in shares)
+        if squares == 0:
+            return 1.0
+        return (total * total) / (len(shares) * squares)
+
+
+class StatsCollector:
+    """Snapshot-and-diff statistics over a machine."""
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        self._start_ns = 0
+        self._run_snapshot: dict[int, float] = {}
+        self._dispatch_snapshot: dict[int, int] = {}
+        self._migration_snapshot: dict[int, int] = {}
+        self._io_snapshot: dict[int, float] = {}
+        self._spin_snapshot: dict[int, float] = {}
+        self._instr_snapshot: dict[int, float] = {}
+
+    def start(self) -> None:
+        """Open the observation window at the machine's current time."""
+        self.machine.sync()
+        self._start_ns = self.machine.sim.now
+        for vcpu in self.machine.all_vcpus:
+            self._run_snapshot[vcpu.vcpu_id] = vcpu.run_ns_total
+            self._dispatch_snapshot[vcpu.vcpu_id] = vcpu.dispatch_count
+            self._migration_snapshot[vcpu.vcpu_id] = vcpu.migrations
+            self._io_snapshot[vcpu.vcpu_id] = vcpu.io_events
+            self._instr_snapshot[vcpu.vcpu_id] = vcpu.pmu.instructions
+        for vm in self.machine.vms:
+            self._spin_snapshot[vm.vm_id] = vm.spin_notifications
+
+    def collect(self) -> MachineStats:
+        """Close the window and summarise."""
+        self.machine.sync()
+        window = self.machine.sim.now - self._start_ns
+        if window <= 0:
+            raise RuntimeError("empty observation window")
+        stats = MachineStats(window_ns=window)
+        stats._pcpu_count = len(self.machine.topology.pcpus)
+        pool_busy: dict[str, float] = {}
+        for vcpu in self.machine.all_vcpus:
+            run = vcpu.run_ns_total - self._run_snapshot.get(vcpu.vcpu_id, 0.0)
+            stats.cpu_share[vcpu.name] = run / window
+            stats.dispatches += (
+                vcpu.dispatch_count
+                - self._dispatch_snapshot.get(vcpu.vcpu_id, 0)
+            )
+            stats.migrations += (
+                vcpu.migrations - self._migration_snapshot.get(vcpu.vcpu_id, 0)
+            )
+            stats.io_events += (
+                vcpu.io_events - self._io_snapshot.get(vcpu.vcpu_id, 0.0)
+            )
+            stats.total_instructions += (
+                vcpu.pmu.instructions
+                - self._instr_snapshot.get(vcpu.vcpu_id, 0.0)
+            )
+            if vcpu.pool is not None:
+                pool_busy[vcpu.pool.name] = pool_busy.get(
+                    vcpu.pool.name, 0.0
+                ) + run
+        for vm in self.machine.vms:
+            stats.spin_notifications += (
+                vm.spin_notifications - self._spin_snapshot.get(vm.vm_id, 0.0)
+            )
+        for pool in self.machine.pools:
+            if pool.pcpus:
+                busy = pool_busy.get(pool.name, 0.0)
+                stats.pool_utilization[pool.name] = busy / (
+                    window * len(pool.pcpus)
+                )
+        return stats
+
+
+__all__ = ["MachineStats", "StatsCollector"]

@@ -1,0 +1,74 @@
+"""Plain-text result tables in the style of the paper's figures.
+
+The benchmark harness prints one table per reproduced figure; the
+values are normalised exactly like the paper normalises ("over the
+performance with the default Xen scheduler", lower is better).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.sim.units import MS
+from repro.workloads.base import PerfResult
+
+
+def normalize_map(
+    results: Mapping[str, PerfResult], baseline: Mapping[str, PerfResult]
+) -> dict[str, float]:
+    """Per-app normalised performance (value / baseline value)."""
+    normalized = {}
+    for name, result in results.items():
+        if name not in baseline:
+            raise KeyError(f"no baseline measurement for {name!r}")
+        normalized[name] = result.normalized_to(baseline[name])
+    return normalized
+
+
+def format_quantum(quantum_ns: Optional[int]) -> str:
+    if quantum_ns is None:
+        return "agnostic"
+    return f"{quantum_ns // MS}ms"
+
+
+class ResultTable:
+    """A small aligned-text table builder."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+__all__ = ["ResultTable", "normalize_map", "format_quantum"]

@@ -1,0 +1,161 @@
+"""Schedule-timeline analysis from the machine's trace.
+
+With tracing enabled (``Machine(trace=TraceRecorder(enabled=True))``),
+the dispatcher emits ``dispatch``/``preempt``/``block``/``wake``
+records.  :func:`build_timeline` reconstructs per-vCPU run intervals,
+from which :func:`scheduling_delays` extracts the wake-to-dispatch
+latencies (the quantity the paper's IO analysis is about) and
+:func:`render_gantt` draws a terminal Gantt chart of who held each
+pCPU when — invaluable when debugging scheduler changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.tracing import TraceRecorder
+
+#: the trace kinds the timeline needs (pass to TraceRecorder(kinds=...))
+TIMELINE_KINDS = {"dispatch", "desched", "preempt", "block", "wake"}
+
+
+@dataclass(frozen=True)
+class RunInterval:
+    """One continuous stretch of a vCPU holding a pCPU."""
+
+    vcpu: str
+    pcpu: int
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    intervals: list[RunInterval] = field(default_factory=list)
+    #: vcpu -> list of (wake time, following dispatch time)
+    wake_to_dispatch: dict[str, list[tuple[int, int]]] = field(
+        default_factory=dict
+    )
+    end_time: int = 0
+
+    def intervals_of(self, vcpu: str) -> list[RunInterval]:
+        return [i for i in self.intervals if i.vcpu == vcpu]
+
+    def busy_fraction(self, pcpu: int) -> float:
+        if self.end_time <= 0:
+            return 0.0
+        busy = sum(i.duration for i in self.intervals if i.pcpu == pcpu)
+        return busy / self.end_time
+
+
+def build_timeline(trace: TraceRecorder, end_time: int) -> Timeline:
+    """Reconstruct run intervals and wake latencies from a trace."""
+    timeline = Timeline(end_time=end_time)
+    open_interval: dict[str, tuple[int, int]] = {}  # vcpu -> (pcpu, start)
+    pending_wake: dict[str, int] = {}
+    for record in trace:
+        kind = record.kind
+        vcpu = record.payload.get("vcpu")
+        if vcpu is None:
+            continue
+        if kind == "dispatch":
+            # an unfinished previous interval means we missed its end
+            # (e.g. a pool-plan deschedule); close it at this instant
+            if vcpu in open_interval:
+                pcpu, start = open_interval.pop(vcpu)
+                timeline.intervals.append(
+                    RunInterval(vcpu, pcpu, start, record.time)
+                )
+            open_interval[vcpu] = (record.payload["pcpu"], record.time)
+            if vcpu in pending_wake:
+                timeline.wake_to_dispatch.setdefault(vcpu, []).append(
+                    (pending_wake.pop(vcpu), record.time)
+                )
+        elif kind in ("desched", "preempt", "block"):
+            if vcpu in open_interval:
+                pcpu, start = open_interval.pop(vcpu)
+                timeline.intervals.append(
+                    RunInterval(vcpu, pcpu, start, record.time)
+                )
+        elif kind == "wake":
+            pending_wake[vcpu] = record.time
+    for vcpu, (pcpu, start) in open_interval.items():
+        timeline.intervals.append(RunInterval(vcpu, pcpu, start, end_time))
+    timeline.intervals.sort(key=lambda i: (i.start, i.pcpu))
+    return timeline
+
+
+def scheduling_delays(timeline: Timeline, vcpu: str) -> list[int]:
+    """Wake-to-dispatch latencies for one vCPU (ns)."""
+    return [
+        dispatch - wake
+        for wake, dispatch in timeline.wake_to_dispatch.get(vcpu, [])
+    ]
+
+
+def render_gantt(
+    timeline: Timeline,
+    start: int = 0,
+    end: Optional[int] = None,
+    width: int = 72,
+) -> str:
+    """A terminal Gantt chart: one row per pCPU, one glyph per slot.
+
+    Each vCPU gets a stable letter; '.' is idle.  Slots with several
+    occupants (finer-grained switching than the resolution) show the
+    one holding the slot longest.
+    """
+    if end is None:
+        end = timeline.end_time
+    if end <= start:
+        raise ValueError("empty window")
+    pcpus = sorted({i.pcpu for i in timeline.intervals})
+    vcpus = sorted({i.vcpu for i in timeline.intervals})
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+    glyph = {name: alphabet[i % len(alphabet)] for i, name in enumerate(vcpus)}
+    slot = (end - start) / width
+    lines = []
+    for pcpu in pcpus:
+        occupancy = [0.0] * width
+        owner: list[Optional[str]] = [None] * width
+        per_slot: list[dict[str, float]] = [dict() for _ in range(width)]
+        for interval in timeline.intervals:
+            if interval.pcpu != pcpu or interval.end <= start or interval.start >= end:
+                continue
+            first = max(0, int((interval.start - start) / slot))
+            last = min(width - 1, int((interval.end - start - 1) / slot))
+            for index in range(first, last + 1):
+                slot_start = start + index * slot
+                slot_end = slot_start + slot
+                overlap = min(interval.end, slot_end) - max(
+                    interval.start, slot_start
+                )
+                if overlap > 0:
+                    per_slot[index][interval.vcpu] = (
+                        per_slot[index].get(interval.vcpu, 0.0) + overlap
+                    )
+        row = []
+        for index in range(width):
+            if per_slot[index]:
+                best = max(per_slot[index], key=per_slot[index].get)
+                row.append(glyph[best])
+            else:
+                row.append(".")
+        lines.append(f"pCPU{pcpu:<3d} |{''.join(row)}|")
+    legend = "  ".join(f"{glyph[name]}={name}" for name in vcpus)
+    return "\n".join(lines) + "\n" + legend
+
+
+__all__ = [
+    "TIMELINE_KINDS",
+    "RunInterval",
+    "Timeline",
+    "build_timeline",
+    "scheduling_delays",
+    "render_gantt",
+]

@@ -1,0 +1,157 @@
+"""The discrete-event simulation core.
+
+A :class:`Simulator` owns a virtual clock (integer nanoseconds) and a
+priority queue of :class:`Event` objects.  Components schedule callbacks
+with :meth:`Simulator.at` / :meth:`Simulator.after`; the main loop pops
+events in ``(time, sequence)`` order, so two events scheduled for the
+same instant fire in scheduling order — this tie-break rule is what makes
+whole-system runs deterministic.
+
+Events are cancellable: cancelling marks the event dead and the loop
+skips it (lazy deletion, the standard heapq idiom), which is how the
+scheduler retracts a pending quantum-expiry when a vCPU blocks early.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine detects an impossible state.
+
+    Examples: scheduling an event in the past, or running the clock
+    backwards.  These always indicate a bug in a component, never a
+    legitimate runtime condition, so they are not meant to be caught.
+    """
+
+
+class Event:
+    """A scheduled callback.  Create via ``Simulator.at``/``after`` only.
+
+    The public surface is :meth:`cancel` and the read-only attributes
+    ``time``, ``label`` and ``cancelled``.
+    """
+
+    __slots__ = ("time", "seq", "fn", "label", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[[], None], label: str):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event {self.label!r} @{self.time}{state}>"
+
+
+class Simulator:
+    """Deterministic event loop over an integer-nanosecond virtual clock."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[Event] = []
+        self._seq: int = 0
+        self._events_fired: int = 0
+        self._running: bool = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: int, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``fn`` to run at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule {label!r} at {time} < now {self.now}"
+            )
+        event = Event(int(time), self._seq, fn, label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: int, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``fn`` to run ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {label!r}")
+        return self.at(self.now + int(delay), fn, label)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run_until(self, end_time: int) -> None:
+        """Fire events in order until the clock reaches ``end_time``.
+
+        The clock is left exactly at ``end_time`` even if the queue runs
+        dry earlier, so periodic components can be resumed by a later
+        ``run_until`` call.
+        """
+        if end_time < self.now:
+            raise SimulationError(f"run_until({end_time}) is in the past")
+        if self._running:
+            raise SimulationError("re-entrant run_until")
+        self._running = True
+        try:
+            while self._queue and self._queue[0].time <= end_time:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                self._events_fired += 1
+                event.fn()
+            self.now = end_time
+        finally:
+            self._running = False
+
+    def step(self) -> Optional[Event]:
+        """Fire the single next pending event; return it (None if empty).
+
+        Test helper — production code uses :meth:`run_until`.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_fired += 1
+            event.fn()
+            return event
+        return None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed since construction."""
+        return self._events_fired
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self.now} pending={self.pending}>"
+
+
+def noop() -> None:
+    """A callback that does nothing (useful as a pure wake-up marker)."""
+
+
+__all__ = ["Event", "Simulator", "SimulationError", "noop"]

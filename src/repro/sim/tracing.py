@@ -1,0 +1,59 @@
+"""Lightweight structured trace recorder.
+
+Components emit ``(time, kind, payload)`` tuples; experiments and tests
+filter them afterwards.  Tracing is off by default (a disabled recorder
+drops records at near-zero cost) because full schedules of multi-second
+runs would dominate memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: what happened, when, and free-form details."""
+
+    time: int
+    kind: str
+    payload: dict
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceRecord({self.time}, {self.kind!r}, {self.payload!r})"
+
+
+class TraceRecorder:
+    """Append-only trace sink with kind-based filtering."""
+
+    def __init__(self, enabled: bool = False, kinds: Optional[set[str]] = None):
+        self.enabled = enabled
+        self.kinds = kinds  # None means record every kind
+        self._records: list[TraceRecord] = []
+
+    def emit(self, time: int, kind: str, **payload: Any) -> None:
+        """Record an event if tracing is on and the kind is selected."""
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self._records.append(TraceRecord(time, kind, payload))
+
+    def records(self, kind: Optional[str] = None) -> list[TraceRecord]:
+        """All records, optionally filtered to one kind."""
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.kind == kind]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+__all__ = ["TraceRecord", "TraceRecorder"]

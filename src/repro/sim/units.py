@@ -1,0 +1,35 @@
+"""Time-unit constants for the simulator's integer-nanosecond clock.
+
+All simulator timestamps and durations are plain Python integers counted
+in nanoseconds.  Using integers keeps event ordering exact and the
+simulation bit-for-bit reproducible across platforms; these constants
+exist so call sites can say ``30 * MS`` instead of ``30_000_000``.
+"""
+
+#: One nanosecond — the base unit of the virtual clock.
+NS = 1
+
+#: One microsecond in nanoseconds.
+US = 1_000
+
+#: One millisecond in nanoseconds.
+MS = 1_000_000
+
+#: One second in nanoseconds.
+SEC = 1_000_000_000
+
+
+def fmt_time(t_ns: int) -> str:
+    """Render a nanosecond timestamp as a human-readable string.
+
+    Picks the largest unit that keeps the value >= 1, e.g. ``fmt_time(30 *
+    MS)`` returns ``"30.000ms"``.  Used by traces and error messages only;
+    never parse the output.
+    """
+    if t_ns >= SEC:
+        return f"{t_ns / SEC:.3f}s"
+    if t_ns >= MS:
+        return f"{t_ns / MS:.3f}ms"
+    if t_ns >= US:
+        return f"{t_ns / US:.3f}us"
+    return f"{t_ns}ns"

@@ -1,0 +1,80 @@
+"""Workload base class and the performance-result record.
+
+A workload installs guest threads (and IO sources) into a VM, then
+exposes a *measurement window* protocol: the experiment runner calls
+:meth:`Workload.begin_measurement` after warm-up and
+:meth:`Workload.result` at the end; the workload reports one scalar
+performance value over the window.
+
+All reported values are **lower-is-better** (latency, time-per-job,
+time-per-instruction), matching the paper's figures where "the smaller
+the bar the better the performance".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.machine import Machine
+    from repro.hypervisor.vm import VM
+
+
+@dataclass(frozen=True)
+class PerfResult:
+    """One workload's performance over a measurement window."""
+
+    name: str
+    metric: str  # e.g. "latency_ns", "ns_per_instr", "ns_per_job"
+    value: float  # lower is better
+    details: tuple = ()
+
+    def normalized_to(self, baseline: "PerfResult") -> float:
+        """value / baseline — < 1 means better than the baseline run."""
+        if baseline.value <= 0:
+            raise ValueError(f"baseline {baseline.name} has no signal")
+        return self.value / baseline.value
+
+
+class Workload(abc.ABC):
+    """Something that runs inside a VM and can be measured."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.machine: Optional["Machine"] = None
+        self.vm: Optional["VM"] = None
+        self._measuring = False
+
+    def install(self, machine: "Machine", vm: "VM") -> "Workload":
+        """Create this workload's threads/sources inside ``vm``."""
+        if self.machine is not None:
+            raise RuntimeError(f"{self.name} is already installed")
+        self.machine = machine
+        self.vm = vm
+        self._install(machine, vm)
+        return self
+
+    @abc.abstractmethod
+    def _install(self, machine: "Machine", vm: "VM") -> None:
+        """Subclass hook: build threads, ports, sources."""
+
+    @abc.abstractmethod
+    def begin_measurement(self) -> None:
+        """Snapshot counters; the window starts now."""
+
+    @abc.abstractmethod
+    def result(self) -> PerfResult:
+        """Performance over the window (lower is better)."""
+
+    @property
+    def now(self) -> int:
+        assert self.machine is not None
+        return self.machine.sim.now
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+__all__ = ["Workload", "PerfResult"]

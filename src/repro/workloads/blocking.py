@@ -1,0 +1,114 @@
+"""Blocking-synchronisation workload: the semaphore counterpart of
+:class:`~repro.workloads.spin.SpinWorkload`.
+
+Same loop structure (private work, then a short critical section), but
+the critical section is guarded by a blocking semaphore, so a
+contended waiter releases its vCPU instead of spinning.  Under
+consolidation this sidesteps lock-holder preemption entirely — the
+cost moves to wake-up latency, where Credit's BOOST usually saves the
+day.  The paper's §3.2 makes exactly this distinction; the
+sync-primitive ablation quantifies it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.guest.phases import Compute, Phase, SemAcquire, SemRelease, Sleep
+from repro.guest.semaphore import Semaphore
+from repro.guest.thread import GuestThread
+from repro.hardware.cache import MemoryProfile
+from repro.workloads.base import PerfResult, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.machine import Machine
+    from repro.hypervisor.vm import VM
+
+
+class BlockingSyncWorkload(Workload):
+    """Semaphore-synchronised parallel workers."""
+
+    def __init__(
+        self,
+        name: str,
+        threads: int = 4,
+        work_instructions: float = 500_000.0,
+        cs_instructions: float = 30_000.0,
+        sleep_ns: int = 100_000,
+        profile: Optional[MemoryProfile] = None,
+    ):
+        super().__init__(name)
+        if threads <= 0:
+            raise ValueError("need at least one worker")
+        if work_instructions <= 0 or cs_instructions <= 0:
+            raise ValueError("work and critical-section sizes must be positive")
+        if sleep_ns < 0:
+            raise ValueError("sleep time cannot be negative")
+        self.threads_wanted = threads
+        self.work_instructions = work_instructions
+        self.cs_instructions = cs_instructions
+        self.sleep_ns = sleep_ns
+        self.profile = profile or MemoryProfile(
+            wss_bytes=512 * 1024, llc_ref_rate=0.002, base_cpi_ns=0.3
+        )
+        self.semaphore = Semaphore(f"{name}.sem", initial=1)
+        self.workers: list[GuestThread] = []
+        self.jobs_completed = 0
+        self._window_start_jobs = 0
+        self._window_start_ns: Optional[int] = None
+        self._rng = None
+
+    def _install(self, machine: "Machine", vm: "VM") -> None:
+        if len(vm.vcpus) < self.threads_wanted:
+            raise ValueError(
+                f"{self.name} wants {self.threads_wanted} vCPUs, "
+                f"VM {vm.name} has {len(vm.vcpus)}"
+            )
+        assert vm.guest is not None
+        self._rng = machine.rng.stream(f"blocking/{self.name}")
+        for i in range(self.threads_wanted):
+            worker = GuestThread(
+                f"{self.name}.w{i}", self._body, profile=self.profile
+            )
+            vm.guest.add_thread(worker, vm.vcpus[i])
+            self.workers.append(worker)
+
+    def _body(self, thread: GuestThread) -> Iterator[Phase]:
+        assert self._rng is not None
+        while True:
+            work = self.work_instructions * float(self._rng.uniform(0.5, 1.5))
+            yield Compute(work)
+            yield SemAcquire(self.semaphore)
+            yield Compute(self.cs_instructions)
+            yield SemRelease(self.semaphore)
+            self.jobs_completed += 1
+            if self.sleep_ns > 0:
+                yield Sleep(int(self._rng.exponential(self.sleep_ns)) + 1)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def begin_measurement(self) -> None:
+        self._window_start_jobs = self.jobs_completed
+        self._window_start_ns = self.now
+
+    def result(self) -> PerfResult:
+        if self._window_start_ns is None:
+            raise RuntimeError(f"{self.name}: begin_measurement was never called")
+        window = self.now - self._window_start_ns
+        jobs = self.jobs_completed - self._window_start_jobs
+        if jobs <= 0:
+            raise RuntimeError(f"{self.name}: no jobs completed in window")
+        return PerfResult(
+            name=self.name,
+            metric="ns_per_job",
+            value=window / jobs,
+            details=(
+                ("jobs", jobs),
+                ("mean_sem_duration_ns", self.semaphore.stats.mean_duration_ns),
+                ("acquisitions", self.semaphore.stats.acquisitions),
+            ),
+        )
+
+
+__all__ = ["BlockingSyncWorkload"]

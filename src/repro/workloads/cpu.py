@@ -1,0 +1,93 @@
+"""CPU-burn workloads (the Drepper linked-list micro-benchmark analogue).
+
+One thread per requested vCPU spins through compute bursts under a
+:class:`~repro.hardware.cache.MemoryProfile`.  The performance metric is
+wall-clock nanoseconds per retired instruction over the measurement
+window — the inverse throughput, lower is better, equivalent to the
+execution time of a fixed instruction budget.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.guest.phases import Compute, Phase
+from repro.guest.thread import GuestThread
+from repro.hardware.cache import MemoryProfile
+from repro.workloads.base import PerfResult, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.machine import Machine
+    from repro.hypervisor.vm import VM
+
+#: Default burst size: ~1-3 ms of CPU, so phase-completion events stay
+#: comfortably coarser than the scheduler's event granularity.
+DEFAULT_BURST_INSTRUCTIONS = 5_000_000.0
+
+
+class CpuBurnWorkload(Workload):
+    """An endless compute loop with a fixed memory profile."""
+
+    def __init__(
+        self,
+        name: str,
+        profile: MemoryProfile,
+        vcpus: int = 1,
+        burst_instructions: float = DEFAULT_BURST_INSTRUCTIONS,
+    ):
+        super().__init__(name)
+        if vcpus <= 0:
+            raise ValueError("need at least one vCPU")
+        if burst_instructions <= 0:
+            raise ValueError("burst must be positive")
+        self.profile = profile
+        self.vcpus_wanted = vcpus
+        self.burst_instructions = burst_instructions
+        self.threads: list[GuestThread] = []
+        self._window_start_ns: Optional[int] = None
+        self._window_start_instructions = 0.0
+
+    def _install(self, machine: "Machine", vm: "VM") -> None:
+        if len(vm.vcpus) < self.vcpus_wanted:
+            raise ValueError(
+                f"{self.name} wants {self.vcpus_wanted} vCPUs, "
+                f"VM {vm.name} has {len(vm.vcpus)}"
+            )
+        assert vm.guest is not None
+        for i in range(self.vcpus_wanted):
+            thread = GuestThread(
+                f"{self.name}.t{i}", self._body, profile=self.profile
+            )
+            vm.guest.add_thread(thread, vm.vcpus[i])
+            self.threads.append(thread)
+
+    def _body(self, thread: GuestThread) -> Iterator[Phase]:
+        while True:
+            yield Compute(self.burst_instructions)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def _total_instructions(self) -> float:
+        return sum(t.instructions_retired for t in self.threads)
+
+    def begin_measurement(self) -> None:
+        self._window_start_ns = self.now
+        self._window_start_instructions = self._total_instructions()
+
+    def result(self) -> PerfResult:
+        if self._window_start_ns is None:
+            raise RuntimeError(f"{self.name}: begin_measurement was never called")
+        window = self.now - self._window_start_ns
+        retired = self._total_instructions() - self._window_start_instructions
+        if retired <= 0:
+            raise RuntimeError(f"{self.name}: no instructions retired in window")
+        return PerfResult(
+            name=self.name,
+            metric="ns_per_instr",
+            value=window / retired,
+            details=(("instructions", retired), ("window_ns", window)),
+        )
+
+
+__all__ = ["CpuBurnWorkload", "DEFAULT_BURST_INSTRUCTIONS"]

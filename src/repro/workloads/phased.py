@@ -1,0 +1,150 @@
+"""Phase-shifting workloads: vCPUs whose type changes over time.
+
+§3.3: "The hypothesis of a fixed type for a VM vCPU during its overall
+lifetime is not realistic."  A :class:`PhasedWorkload` cycles through
+behaviour phases — each a (kind, duration) pair — on one vCPU, so vTRS
+must re-type it and AQL_Sched must re-cluster it online.
+
+Supported phase kinds: ``"llcf"``, ``"llco"``, ``"lolcf"`` (compute
+with the canonical profile), ``"io"`` (closed-loop request handling)
+and ``"spin"`` (dense lock activity against a private lock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.guest.phases import Acquire, Compute, Phase, Release, WaitEvent
+from repro.guest.spinlock import SpinLock
+from repro.guest.thread import GuestThread
+from repro.hardware.cache import MemoryProfile
+from repro.sim.units import MS
+from repro.workloads.base import PerfResult, Workload
+from repro.workloads.profiles import llcf_profile, llco_profile, lolcf_profile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.event_channel import EventPort
+    from repro.hypervisor.machine import Machine
+    from repro.hypervisor.vm import VM
+
+PHASE_KINDS = ("llcf", "llco", "lolcf", "io", "spin")
+
+
+@dataclass(frozen=True)
+class BehaviourPhase:
+    """One stretch of behaviour: what to do and for roughly how long."""
+
+    kind: str
+    duration_ns: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in PHASE_KINDS:
+            raise ValueError(
+                f"unknown phase kind {self.kind!r}; choose from {PHASE_KINDS}"
+            )
+        if self.duration_ns <= 0:
+            raise ValueError("phase duration must be positive")
+
+
+class PhasedWorkload(Workload):
+    """A single-vCPU workload cycling through behaviour phases.
+
+    Durations are approximate: each phase issues work in small chunks
+    and checks the virtual clock between chunks, so a phase ends within
+    one chunk of its nominal duration regardless of CPU share.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        phases: list[BehaviourPhase],
+        think_ns: int = 5 * MS,
+        vcpu_index: int = 0,
+    ):
+        super().__init__(name)
+        if not phases:
+            raise ValueError("need at least one phase")
+        self.phases = list(phases)
+        self.think_ns = think_ns
+        self.vcpu_index = vcpu_index
+        self.port: Optional["EventPort"] = None
+        self.thread: Optional[GuestThread] = None
+        self.cycles_completed = 0
+        self._lock = SpinLock(f"{name}.lock")
+        self._profiles: dict[str, MemoryProfile] = {}
+        self._window_start_ns: Optional[int] = None
+        self._window_start_cycles = 0
+
+    def _install(self, machine: "Machine", vm: "VM") -> None:
+        assert vm.guest is not None
+        spec = machine.spec
+        self._profiles = {
+            "llcf": llcf_profile(spec),
+            "llco": llco_profile(spec),
+            "lolcf": lolcf_profile(spec),
+        }
+        vcpu = vm.vcpus[self.vcpu_index]
+        self.port = machine.new_port(vcpu, f"{self.name}.port")
+        self.thread = GuestThread(f"{self.name}.t", self._body)
+        vm.guest.add_thread(self.thread, vcpu)
+        machine.sim.after(1, self._send_request, f"{self.name}.kick")
+
+    def _send_request(self) -> None:
+        assert self.port is not None and self.machine is not None
+        self.port.post(self.machine.sim.now)
+
+    def _reply_later(self) -> None:
+        assert self.machine is not None
+        self.machine.sim.after(
+            self.think_ns, self._send_request, f"{self.name}.think"
+        )
+
+    def _body(self, thread: GuestThread) -> Iterator[Phase]:
+        assert self.machine is not None
+        sim = self.machine.sim
+        while True:
+            for phase in self.phases:
+                deadline = sim.now + phase.duration_ns
+                if phase.kind in self._profiles:
+                    profile = self._profiles[phase.kind]
+                    while sim.now < deadline:
+                        yield Compute(3_000_000, profile=profile)
+                elif phase.kind == "io":
+                    assert self.port is not None
+                    while sim.now < deadline:
+                        wait = WaitEvent(self.port)
+                        yield wait
+                        yield Compute(100_000)
+                        self._reply_later()
+                elif phase.kind == "spin":
+                    while sim.now < deadline:
+                        yield Compute(150_000)
+                        yield Acquire(self._lock)
+                        yield Compute(500)
+                        yield Release(self._lock)
+            self.cycles_completed += 1
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def begin_measurement(self) -> None:
+        self._window_start_ns = self.now
+        self._window_start_cycles = self.cycles_completed
+
+    def result(self) -> PerfResult:
+        if self._window_start_ns is None:
+            raise RuntimeError(f"{self.name}: begin_measurement was never called")
+        window = self.now - self._window_start_ns
+        cycles = self.cycles_completed - self._window_start_cycles
+        if cycles <= 0:
+            raise RuntimeError(f"{self.name}: no full cycles in window")
+        return PerfResult(
+            name=self.name,
+            metric="ns_per_cycle",
+            value=window / cycles,
+            details=(("cycles", cycles),),
+        )
+
+
+__all__ = ["BehaviourPhase", "PhasedWorkload", "PHASE_KINDS"]

@@ -1,0 +1,82 @@
+"""Canonical memory profiles for the paper's CPU-burn sub-types.
+
+The classification (§3.2) is purely about working-set size versus cache
+level capacity:
+
+* **LLCF** — WSS fits in the LLC (the paper's calibration uses half the
+  LLC): hot when resident, so context switches are expensive;
+* **LLCO** — WSS overflows the LLC: misses at a floor rate regardless
+  of quantum, and constantly evicts neighbours ("trashing");
+* **LoLCF** — WSS fits the private L2: near-zero LLC traffic.
+
+LLC reference rate and base CPI defaults are chosen so the relative
+speeds (warm LLCF ~3.5x faster than cold) match typical memory-bound
+versus cache-resident behaviour on the paper's hardware class.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cache import MemoryProfile
+from repro.hardware.specs import MachineSpec
+
+#: LLC references per instruction for memory-intensive code (post-L2
+#: filter); typical for pointer-chasing working sets.
+MEMORY_REF_RATE = 0.02
+
+#: LLC references per instruction for L2-resident code: almost nothing
+#: escapes the private caches.
+LOLC_REF_RATE = 0.0005
+
+
+def llcf_profile(
+    spec: MachineSpec,
+    llc_fraction: float = 0.5,
+    ref_rate: float = MEMORY_REF_RATE,
+) -> MemoryProfile:
+    """WSS = ``llc_fraction`` of the LLC (paper's calibration: half)."""
+    if not 0 < llc_fraction <= 1.0:
+        raise ValueError("llc_fraction must be in (0, 1]")
+    return MemoryProfile(
+        wss_bytes=int(spec.llc.capacity_bytes * llc_fraction),
+        llc_ref_rate=ref_rate,
+        base_cpi_ns=spec.cycle_ns,
+    )
+
+
+def llco_profile(
+    spec: MachineSpec,
+    llc_multiple: float = 16.0,
+    ref_rate: float = MEMORY_REF_RATE,
+) -> MemoryProfile:
+    """WSS = ``llc_multiple`` x LLC: a trashing working set."""
+    if llc_multiple <= 1.0:
+        raise ValueError("an LLCO working set must overflow the LLC")
+    return MemoryProfile(
+        wss_bytes=int(spec.llc.capacity_bytes * llc_multiple),
+        llc_ref_rate=ref_rate,
+        base_cpi_ns=spec.cycle_ns,
+    )
+
+
+def lolcf_profile(
+    spec: MachineSpec,
+    l2_fraction: float = 0.9,
+    ref_rate: float = LOLC_REF_RATE,
+) -> MemoryProfile:
+    """WSS = 90 % of L2 (the paper's LoLCF calibration point)."""
+    if not 0 < l2_fraction <= 1.0:
+        raise ValueError("l2_fraction must be in (0, 1]")
+    return MemoryProfile(
+        wss_bytes=int(spec.l2.capacity_bytes * l2_fraction),
+        llc_ref_rate=ref_rate,
+        base_cpi_ns=spec.cycle_ns,
+    )
+
+
+__all__ = [
+    "MEMORY_REF_RATE",
+    "LOLC_REF_RATE",
+    "llcf_profile",
+    "llco_profile",
+    "lolcf_profile",
+]

@@ -1,0 +1,202 @@
+"""Named synthetic analogues of the paper's benchmark programs.
+
+Every program the paper evaluates (Table 3 / Fig. 5) gets a catalog
+entry whose parameters put it in the class vTRS should detect:
+
+* SPEC CPU2006 LLCF programs (astar, xalancbmk, bzip2, gcc, omnetpp):
+  working sets that fit the LLC;
+* SPEC CPU2006 LoLCF programs (hmmer, gobmk, perlbench, sjeng,
+  h264ref): working sets inside the private L2;
+* SPEC CPU2006 LLCO programs (mcf, libquantum): trashing working sets;
+* the 12 PARSEC programs: spin-lock-synchronised parallel workers;
+* SPECweb2009 / SPECmail2009: heterogeneous IO services;
+* the calibration micro-benchmarks (wordpress, kernbench, the Drepper
+  linked-list walker in its three configurations).
+
+Per-program parameters are deterministic jitters of the canonical
+profile (hash of the name), so programs of a class behave similarly but
+not identically — like real suite members.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.types import VCpuType
+from repro.hardware.cache import MemoryProfile
+from repro.hardware.specs import MachineSpec
+from repro.workloads.base import Workload
+from repro.workloads.cpu import CpuBurnWorkload
+from repro.workloads.io_workload import IoWorkload
+from repro.workloads.profiles import (
+    LOLC_REF_RATE,
+    MEMORY_REF_RATE,
+    llcf_profile,
+    llco_profile,
+    lolcf_profile,
+)
+from repro.workloads.spin import SpinWorkload
+
+
+def _jitter(name: str, low: float, high: float) -> float:
+    """Deterministic per-name value in [low, high]."""
+    digest = hashlib.sha256(name.encode()).digest()
+    unit = int.from_bytes(digest[:4], "little") / 0xFFFFFFFF
+    return low + unit * (high - low)
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Catalog entry: how to build one named program."""
+
+    name: str
+    suite: str  # "speccpu2006" | "parsec" | "specweb" | "specmail" | "micro"
+    expected_type: VCpuType
+    build: Callable[[MachineSpec, int], Workload]
+
+
+def _cpu_builder(
+    name: str, profile_fn: Callable[[MachineSpec], MemoryProfile]
+) -> Callable[[MachineSpec, int], Workload]:
+    def build(spec: MachineSpec, vcpus: int) -> Workload:
+        return CpuBurnWorkload(name, profile_fn(spec), vcpus=vcpus)
+
+    return build
+
+
+def _llcf_app(name: str) -> AppSpec:
+    fraction = _jitter(name, 0.35, 0.60)
+    return AppSpec(
+        name,
+        "speccpu2006",
+        VCpuType.LLCF,
+        _cpu_builder(name, lambda spec: llcf_profile(spec, llc_fraction=fraction)),
+    )
+
+
+def _lolcf_app(name: str) -> AppSpec:
+    fraction = _jitter(name, 0.55, 0.95)
+    rate = LOLC_REF_RATE * _jitter(name + ".rate", 0.5, 1.5)
+    return AppSpec(
+        name,
+        "speccpu2006",
+        VCpuType.LOLCF,
+        _cpu_builder(
+            name, lambda spec: lolcf_profile(spec, l2_fraction=fraction, ref_rate=rate)
+        ),
+    )
+
+
+def _llco_app(name: str) -> AppSpec:
+    multiple = _jitter(name, 12.0, 24.0)
+    return AppSpec(
+        name,
+        "speccpu2006",
+        VCpuType.LLCO,
+        _cpu_builder(name, lambda spec: llco_profile(spec, llc_multiple=multiple)),
+    )
+
+
+def _parsec_app(name: str) -> AppSpec:
+    work = 20_000_000.0 * _jitter(name, 0.6, 1.6)
+    cs = 30_000.0 * _jitter(name + ".cs", 0.7, 1.4)
+
+    def build(spec: MachineSpec, vcpus: int) -> Workload:
+        return SpinWorkload(
+            name, threads=vcpus, work_instructions=work, cs_instructions=cs
+        )
+
+    return AppSpec(name, "parsec", VCpuType.CONSPIN, build)
+
+
+def _web_app(name: str, suite: str) -> AppSpec:
+    def build(spec: MachineSpec, vcpus: int) -> Workload:
+        return IoWorkload.heterogeneous(name, spec, vcpus=vcpus)
+
+    return AppSpec(name, suite, VCpuType.IOINT, build)
+
+
+_LLCF_PROGRAMS = ["astar", "xalancbmk", "bzip2", "gcc", "omnetpp"]
+_LOLCF_PROGRAMS = ["hmmer", "gobmk", "perlbench", "sjeng", "h264ref"]
+_LLCO_PROGRAMS = ["mcf", "libquantum"]
+_PARSEC_PROGRAMS = [
+    "bodytrack",
+    "blackscholes",
+    "canneal",
+    "dedup",
+    "facesim",
+    "ferret",
+    "fluidanimate",
+    "freqmine",
+    "raytrace",
+    "streamcluster",
+    "vips",
+    "x264",
+]
+
+#: name -> AppSpec for every program the paper evaluates.
+APP_CATALOG: dict[str, AppSpec] = {}
+for _name in _LLCF_PROGRAMS:
+    APP_CATALOG[_name] = _llcf_app(_name)
+for _name in _LOLCF_PROGRAMS:
+    APP_CATALOG[_name] = _lolcf_app(_name)
+for _name in _LLCO_PROGRAMS:
+    APP_CATALOG[_name] = _llco_app(_name)
+for _name in _PARSEC_PROGRAMS:
+    APP_CATALOG[_name] = _parsec_app(_name)
+APP_CATALOG["specweb2009"] = _web_app("specweb2009", "specweb")
+APP_CATALOG["specmail2009"] = _web_app("specmail2009", "specmail")
+
+# ----------------------------------------------------------------------
+# calibration micro-benchmarks (Table 1 of the paper)
+# ----------------------------------------------------------------------
+APP_CATALOG["wordpress"] = _web_app("wordpress", "micro")  # heterogeneous IOInt
+APP_CATALOG["kernbench"] = AppSpec(
+    "kernbench",
+    "micro",
+    VCpuType.CONSPIN,
+    lambda spec, vcpus: SpinWorkload("kernbench", threads=vcpus),
+)
+APP_CATALOG["listwalk-llcf"] = AppSpec(
+    "listwalk-llcf",
+    "micro",
+    VCpuType.LLCF,
+    _cpu_builder("listwalk-llcf", lambda spec: llcf_profile(spec, 0.5)),
+)
+APP_CATALOG["listwalk-lolcf"] = AppSpec(
+    "listwalk-lolcf",
+    "micro",
+    VCpuType.LOLCF,
+    _cpu_builder("listwalk-lolcf", lambda spec: lolcf_profile(spec, 0.9)),
+)
+APP_CATALOG["listwalk-llco"] = AppSpec(
+    "listwalk-llco",
+    "micro",
+    VCpuType.LLCO,
+    _cpu_builder("listwalk-llco", lambda spec: llco_profile(spec, 8.0)),
+)
+
+
+def make_app(name: str, spec: MachineSpec, vcpus: int = 1) -> Workload:
+    """Instantiate a catalog program for ``vcpus`` virtual CPUs."""
+    try:
+        app = APP_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(APP_CATALOG))
+        raise KeyError(f"unknown program {name!r}; catalog: {known}") from None
+    return app.build(spec, vcpus)
+
+
+def programs_of_suite(suite: str) -> list[AppSpec]:
+    return [app for app in APP_CATALOG.values() if app.suite == suite]
+
+
+__all__ = [
+    "AppSpec",
+    "APP_CATALOG",
+    "make_app",
+    "programs_of_suite",
+    "MEMORY_REF_RATE",
+]

@@ -1,0 +1,13 @@
+"""Test-suite configuration.
+
+Hypothesis runs derandomized so the suite is reproducible: the
+property tests express *universal* invariants (occupancy conservation,
+cursor ranges, clustering fairness, scheduler structure), so a failing
+example is always a real bug worth a stable reproduction, never
+test-run noise.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None, derandomize=True)
+settings.load_profile("repro")

@@ -1,0 +1,125 @@
+"""Tests for the scheduling policies (Xen, fixed, vSlicer, vTurbo, AQL)."""
+
+import pytest
+
+from repro.baselines import (
+    AqlPolicy,
+    FixedQuantum,
+    Microsliced,
+    VSlicer,
+    VTurbo,
+    XenCredit,
+)
+from repro.baselines.base import PolicyContext
+from repro.core.types import VCpuType
+from repro.hypervisor.machine import Machine
+from repro.sim.units import MS
+from repro.workloads.cpu import CpuBurnWorkload
+from repro.workloads.io_workload import IoWorkload
+from repro.workloads.profiles import lolcf_profile
+
+
+def io_scenario(seed=0):
+    """2 IO VMs + 6 CPU VMs on a 2-pCPU pool, with oracle types."""
+    machine = Machine(seed=seed)
+    pool = machine.create_pool("p", machine.topology.pcpus[:2], 30 * MS)
+    ctx = PolicyContext(pool=pool)
+    for i in range(2):
+        vm = machine.new_vm(f"io{i}", 1)
+        machine.default_pool.remove_vcpu(vm.vcpus[0])
+        pool.add_vcpu(vm.vcpus[0])
+        IoWorkload.exclusive(f"io{i}").install(machine, vm)
+        ctx.oracle_types[vm.vcpus[0].vcpu_id] = VCpuType.IOINT
+    for i in range(6):
+        vm = machine.new_vm(f"cpu{i}", 1)
+        machine.default_pool.remove_vcpu(vm.vcpus[0])
+        pool.add_vcpu(vm.vcpus[0])
+        CpuBurnWorkload(f"c{i}", lolcf_profile(machine.spec)).install(machine, vm)
+        ctx.oracle_types[vm.vcpus[0].vcpu_id] = VCpuType.LOLCF
+    return machine, ctx
+
+
+class TestXenCredit:
+    def test_sets_default_quantum(self):
+        machine, ctx = io_scenario()
+        XenCredit().setup(machine, ctx)
+        assert all(p.quantum_ns == 30 * MS for p in machine.pools)
+
+
+class TestFixedQuantum:
+    def test_sets_quantum_everywhere(self):
+        machine, ctx = io_scenario()
+        FixedQuantum(5 * MS).setup(machine, ctx)
+        assert all(p.quantum_ns == 5 * MS for p in machine.pools)
+
+    def test_microsliced_default_is_1ms(self):
+        assert Microsliced().quantum_ns == 1 * MS
+        assert Microsliced().name == "microsliced"
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            FixedQuantum(0)
+
+
+class TestVSlicer:
+    def test_overrides_only_io_vcpus(self):
+        machine, ctx = io_scenario()
+        VSlicer().setup(machine, ctx)
+        for vcpu in machine.all_vcpus:
+            if ctx.oracle_types[vcpu.vcpu_id] == VCpuType.IOINT:
+                assert vcpu.quantum_override == 1 * MS
+            else:
+                assert vcpu.quantum_override is None
+
+    def test_no_io_vcpus_is_noop(self):
+        machine, ctx = io_scenario()
+        ctx.oracle_types = {
+            k: VCpuType.LOLCF for k in ctx.oracle_types
+        }
+        VSlicer().setup(machine, ctx)
+        assert all(v.quantum_override is None for v in machine.all_vcpus)
+
+
+class TestVTurbo:
+    def test_builds_turbo_pool(self):
+        machine, ctx = io_scenario()
+        VTurbo().setup(machine, ctx)
+        by_name = {p.name: p for p in machine.pools}
+        assert by_name["turbo"].quantum_ns == 1 * MS
+        turbo_vcpus = by_name["turbo"].vcpus
+        assert all(
+            ctx.oracle_types[v.vcpu_id] == VCpuType.IOINT for v in turbo_vcpus
+        )
+        assert len(turbo_vcpus) == 2
+        assert by_name["normal"].quantum_ns == 30 * MS
+        machine.run(100 * MS)  # still runs
+
+    def test_no_io_is_noop(self):
+        machine, ctx = io_scenario()
+        ctx.oracle_types = {k: VCpuType.LOLCF for k in ctx.oracle_types}
+        pools_before = len(machine.pools)
+        VTurbo().setup(machine, ctx)
+        assert len(machine.pools) == pools_before
+
+
+class TestAqlPolicy:
+    def test_attaches_manager(self):
+        machine, ctx = io_scenario()
+        policy = AqlPolicy()
+        policy.setup(machine, ctx)
+        assert policy.manager is not None
+        machine.run(200 * MS)
+        assert policy.manager.decisions >= 1
+
+    def test_oracle_name(self):
+        assert AqlPolicy(oracle=True).name == "aql-oracle"
+
+    def test_uniform_name(self):
+        assert AqlPolicy(uniform_quantum_ns=1 * MS).name == "aql-uniform-1ms"
+
+
+class TestPolicyContext:
+    def test_vcpus_of_type(self):
+        machine, ctx = io_scenario()
+        io_vcpus = ctx.vcpus_of_type(machine, VCpuType.IOINT)
+        assert len(io_vcpus) == 2

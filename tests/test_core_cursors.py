@@ -1,0 +1,134 @@
+"""Tests for the cursor equations (1)-(5), incl. hand-computed values."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cursors import CursorLimits, MetricSample, compute_cursors
+from repro.core.types import CPU_BURN_TYPES, VCpuType
+
+LIMITS = CursorLimits(
+    io_limit=10.0, conspin_limit=100.0, llc_rr_limit=0.004, llc_mr_limit=0.75
+)
+
+
+class TestSaturatingCursors:
+    def test_io_below_limit_is_linear(self):
+        sample = MetricSample(io_events=5.0)
+        cursors = compute_cursors(sample, LIMITS)
+        assert cursors[VCpuType.IOINT] == pytest.approx(50.0)
+
+    def test_io_at_limit_saturates(self):
+        sample = MetricSample(io_events=10.0)
+        assert compute_cursors(sample, LIMITS)[VCpuType.IOINT] == 100.0
+
+    def test_io_above_limit_saturates(self):
+        sample = MetricSample(io_events=500.0)
+        assert compute_cursors(sample, LIMITS)[VCpuType.IOINT] == 100.0
+
+    def test_conspin_linear(self):
+        sample = MetricSample(spin_events=25.0)
+        assert compute_cursors(sample, LIMITS)[VCpuType.CONSPIN] == pytest.approx(25.0)
+
+    def test_zero_sample_gives_pure_lolcf(self):
+        cursors = compute_cursors(MetricSample(), LIMITS)
+        assert cursors[VCpuType.IOINT] == 0.0
+        assert cursors[VCpuType.CONSPIN] == 0.0
+        assert cursors[VCpuType.LOLCF] == 100.0
+        assert cursors[VCpuType.LLCF] == 0.0
+        assert cursors[VCpuType.LLCO] == 0.0
+
+
+class TestCpuBurnCursors:
+    def test_pure_llcf_profile(self):
+        """High RR (not LoLCF), zero misses: fully LLCF."""
+        sample = MetricSample(
+            instructions=1e6, llc_refs=20_000.0, llc_misses=0.0
+        )
+        cursors = compute_cursors(sample, LIMITS)
+        assert cursors[VCpuType.LOLCF] == 0.0
+        assert cursors[VCpuType.LLCF] == pytest.approx(100.0)
+        assert cursors[VCpuType.LLCO] == pytest.approx(0.0)
+
+    def test_pure_llco_profile(self):
+        """High RR, miss ratio above the limit: fully LLCO."""
+        sample = MetricSample(
+            instructions=1e6, llc_refs=20_000.0, llc_misses=18_000.0
+        )
+        cursors = compute_cursors(sample, LIMITS)
+        assert cursors[VCpuType.LLCF] == 0.0
+        assert cursors[VCpuType.LLCO] == pytest.approx(100.0)
+
+    def test_hand_computed_mixed_case(self):
+        """RR = 0.002 (half the limit), MR = 0.25 (a third of 0.75).
+
+        Eq. 3: LoLCF = (0.004 - 0.002)/0.004 * 100 = 50.
+        Eq. 4: LLCF = min(100 - 50, (0.75 - 0.25)/0.75 * 100) = 50.
+        Eq. 5: LLCO = 100 - 50 - 50 = 0.
+        """
+        sample = MetricSample(
+            instructions=1e6, llc_refs=2_000.0, llc_misses=500.0
+        )
+        cursors = compute_cursors(sample, LIMITS)
+        assert cursors[VCpuType.LOLCF] == pytest.approx(50.0)
+        assert cursors[VCpuType.LLCF] == pytest.approx(50.0)
+        assert cursors[VCpuType.LLCO] == pytest.approx(0.0)
+
+    def test_llcf_bounded_by_lolcf_complement(self):
+        """Eq. 4's min(): tiny RR forces LLCF below 100 - LoLCF even
+        with a perfect miss ratio."""
+        sample = MetricSample(
+            instructions=1e6, llc_refs=1_000.0, llc_misses=0.0
+        )
+        cursors = compute_cursors(sample, LIMITS)
+        assert cursors[VCpuType.LOLCF] == pytest.approx(75.0)
+        assert cursors[VCpuType.LLCF] == pytest.approx(25.0)
+
+    def test_no_instructions_reads_as_lolcf(self):
+        sample = MetricSample(instructions=0.0, llc_refs=0.0)
+        cursors = compute_cursors(sample, LIMITS)
+        assert cursors[VCpuType.LOLCF] == 100.0
+
+    def test_mr_with_zero_refs_is_zero(self):
+        sample = MetricSample(instructions=1e6, llc_refs=0.0, llc_misses=0.0)
+        assert sample.llc_mr_level == 0.0
+
+
+class TestLimitsValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"io_limit": 0},
+            {"conspin_limit": -1},
+            {"llc_rr_limit": 0},
+            {"llc_mr_limit": 0},
+        ],
+    )
+    def test_nonpositive_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CursorLimits(**kwargs)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    io=st.floats(min_value=0, max_value=1e6),
+    spin=st.floats(min_value=0, max_value=1e6),
+    instructions=st.floats(min_value=0, max_value=1e12),
+    refs=st.floats(min_value=0, max_value=1e10),
+    miss_fraction=st.floats(min_value=0, max_value=1),
+)
+def test_cursor_invariants(io, spin, instructions, refs, miss_fraction):
+    """Equation 2 (CPU-burn trio sums to 100) and range invariants hold
+    for every conceivable sample."""
+    sample = MetricSample(
+        io_events=io,
+        spin_events=spin,
+        instructions=instructions,
+        llc_refs=refs,
+        llc_misses=refs * miss_fraction,
+    )
+    cursors = compute_cursors(sample, LIMITS)
+    for vtype, value in cursors.items():
+        assert -1e-9 <= value <= 100.0 + 1e-9, f"{vtype} out of range"
+    cpu_sum = sum(cursors[t] for t in CPU_BURN_TYPES)
+    assert cpu_sum == pytest.approx(100.0)

@@ -1,0 +1,176 @@
+"""Tests for the online vCPU Type Recognition System."""
+
+import pytest
+
+from repro.core.types import VCpuType
+from repro.core.vtrs import VTRS
+from repro.guest.phases import Compute
+from repro.guest.thread import GuestThread
+from repro.hypervisor.machine import Machine
+from repro.sim.units import MS, SEC
+from repro.workloads.cpu import CpuBurnWorkload
+from repro.workloads.io_workload import IoWorkload
+from repro.workloads.profiles import llcf_profile, llco_profile, lolcf_profile
+from repro.workloads.spin import SpinWorkload
+
+
+def single_pcpu_machine(seed=0):
+    machine = Machine(seed=seed)
+    pool = machine.create_pool("p", machine.topology.pcpus[:1], 30 * MS)
+    return machine, pool
+
+
+def place(machine, pool, vm):
+    for vcpu in vm.vcpus:
+        machine.default_pool.remove_vcpu(vcpu)
+        pool.add_vcpu(vcpu)
+
+
+class TestLifecycle:
+    def test_no_type_before_first_sample(self):
+        machine, pool = single_pcpu_machine()
+        vm = machine.new_vm("vm", 1)
+        place(machine, pool, vm)
+        CpuBurnWorkload("w", llcf_profile(machine.spec)).install(machine, vm)
+        vtrs = VTRS(machine)
+        assert vtrs.type_of(vm.vcpus[0]) is None
+        assert vtrs.cursor_averages(vm.vcpus[0])[VCpuType.LLCF] == 0.0
+
+    def test_attach_is_idempotent(self):
+        machine, _ = single_pcpu_machine()
+        vtrs = VTRS(machine)
+        vtrs.attach()
+        vtrs.attach()
+        machine.run(100 * MS)
+        # one sampler every 30 ms, not two
+        assert vtrs.periods_observed == 3
+
+    def test_invalid_params(self):
+        machine, _ = single_pcpu_machine()
+        with pytest.raises(ValueError):
+            VTRS(machine, window=0)
+        with pytest.raises(ValueError):
+            VTRS(machine, period_ns=0)
+
+    def test_history_recording(self):
+        machine, pool = single_pcpu_machine()
+        vm = machine.new_vm("vm", 1)
+        place(machine, pool, vm)
+        CpuBurnWorkload("w", llcf_profile(machine.spec)).install(machine, vm)
+        vtrs = VTRS(machine, record_history=True).attach()
+        machine.run(300 * MS)
+        history = vtrs.history_of(vm.vcpus[0])
+        assert len(history) >= 5
+        time0, cursors0 = history[0]
+        assert isinstance(cursors0, dict)
+
+
+class TestRecognition:
+    def test_llcf_detected(self):
+        machine, pool = single_pcpu_machine()
+        vm = machine.new_vm("vm", 1)
+        place(machine, pool, vm)
+        CpuBurnWorkload("w", llcf_profile(machine.spec)).install(machine, vm)
+        vtrs = VTRS(machine).attach()
+        machine.run(500 * MS)
+        assert vtrs.type_of(vm.vcpus[0]) == VCpuType.LLCF
+
+    def test_llco_detected(self):
+        machine, pool = single_pcpu_machine()
+        vm = machine.new_vm("vm", 1)
+        place(machine, pool, vm)
+        CpuBurnWorkload("w", llco_profile(machine.spec)).install(machine, vm)
+        vtrs = VTRS(machine).attach()
+        machine.run(500 * MS)
+        assert vtrs.type_of(vm.vcpus[0]) == VCpuType.LLCO
+
+    def test_lolcf_detected(self):
+        machine, pool = single_pcpu_machine()
+        vm = machine.new_vm("vm", 1)
+        place(machine, pool, vm)
+        CpuBurnWorkload("w", lolcf_profile(machine.spec)).install(machine, vm)
+        vtrs = VTRS(machine).attach()
+        machine.run(500 * MS)
+        assert vtrs.type_of(vm.vcpus[0]) == VCpuType.LOLCF
+
+    def test_ioint_detected(self):
+        machine, pool = single_pcpu_machine()
+        vm = machine.new_vm("vm", 1)
+        place(machine, pool, vm)
+        IoWorkload.exclusive("io").install(machine, vm)
+        vtrs = VTRS(machine).attach()
+        machine.run(500 * MS)
+        assert vtrs.type_of(vm.vcpus[0]) == VCpuType.IOINT
+
+    def test_conspin_detected(self):
+        machine = Machine(seed=0)
+        pool = machine.create_pool("p", machine.topology.pcpus[:2], 30 * MS)
+        vm = machine.new_vm("vm", 4, weight=1024)
+        place(machine, pool, vm)
+        SpinWorkload("spin", threads=4).install(machine, vm)
+        vtrs = VTRS(machine).attach()
+        machine.run(1 * SEC)
+        for vcpu in vm.vcpus:
+            assert vtrs.type_of(vcpu) == VCpuType.CONSPIN
+
+    def test_type_follows_behaviour_change(self):
+        """A vCPU that switches from LLCO to LoLCF behaviour is
+        re-typed within a few windows (the reason vTRS is online)."""
+        machine, pool = single_pcpu_machine()
+        vm = machine.new_vm("vm", 1)
+        place(machine, pool, vm)
+        spec = machine.spec
+        phase_profiles = [llco_profile(spec), lolcf_profile(spec)]
+
+        def chameleon(thread):
+            # ~400 ms of trashing, then seconds of L2-resident compute
+            yield Compute(220_000_000, profile=phase_profiles[0])
+            yield Compute(10_000_000_000, profile=phase_profiles[1])
+
+        vm.guest.add_thread(GuestThread("c", chameleon), vm.vcpus[0])
+        vtrs = VTRS(machine).attach()
+        machine.run(300 * MS)
+        first = vtrs.type_of(vm.vcpus[0])
+        machine.run(1500 * MS)
+        second = vtrs.type_of(vm.vcpus[0])
+        assert first == VCpuType.LLCO
+        assert second == VCpuType.LOLCF
+
+
+class TestEvidenceHandling:
+    def test_idle_periods_do_not_pollute_window(self):
+        """A vCPU sharing a pCPU 1:3 is descheduled for whole periods;
+        those periods must not read as LoLCF."""
+        machine, pool = single_pcpu_machine()
+        target_vm = machine.new_vm("target", 1)
+        place(machine, pool, target_vm)
+        CpuBurnWorkload("t", llcf_profile(machine.spec)).install(
+            machine, target_vm
+        )
+        for i in range(3):
+            vm = machine.new_vm(f"d{i}", 1)
+            place(machine, pool, vm)
+            CpuBurnWorkload(f"d{i}", llco_profile(machine.spec)).install(
+                machine, vm
+            )
+        vtrs = VTRS(machine).attach()
+        machine.run(2 * SEC)
+        assert vtrs.type_of(target_vm.vcpus[0]) == VCpuType.LLCF
+
+    def test_fully_idle_vcpu_keeps_no_type(self):
+        machine, pool = single_pcpu_machine()
+        vm = machine.new_vm("idle", 1)
+        place(machine, pool, vm)
+        vtrs = VTRS(machine).attach()
+        machine.run(500 * MS)
+        assert vtrs.type_of(vm.vcpus[0]) is None
+
+    def test_window_length_respected(self):
+        machine, pool = single_pcpu_machine()
+        vm = machine.new_vm("vm", 1)
+        place(machine, pool, vm)
+        CpuBurnWorkload("w", lolcf_profile(machine.spec)).install(machine, vm)
+        vtrs = VTRS(machine, window=4).attach()
+        machine.run(1 * SEC)
+        monitor = vtrs._monitors[vm.vcpus[0].vcpu_id]
+        assert len(monitor.window) == 4

@@ -1,0 +1,60 @@
+"""Tests for the CLI experiment runner and the ablation module."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.experiments.ablations import (
+    render_boost_ablation,
+    render_reuse_ablation,
+    run_boost_ablation,
+    run_reuse_ablation,
+)
+from repro.sim.units import MS, SEC
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_fig3_runs(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "clustering" in out
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure-nine"])
+
+    def test_fast_fig4(self, capsys):
+        assert main(["fig4", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "specweb2009" in out
+
+
+class TestAblationModules:
+    def test_boost_ablation_small(self):
+        result = run_boost_ablation(
+            quanta_ms=(1, 30),
+            warmup_ns=200 * MS,
+            measure_ns=500 * MS,
+        )
+        # BOOST keeps exclusive IO fast at the default quantum; without
+        # it the latency is at least an order of magnitude higher
+        assert (
+            result.latency[(False, 30)] > 10 * result.latency[(True, 30)]
+        )
+        text = render_boost_ablation(result)
+        assert "BOOST" in text
+
+    def test_reuse_ablation_small(self):
+        result = run_reuse_ablation(
+            exponents=(0.5, 1.0),
+            warmup_ns=200 * MS,
+            measure_ns=500 * MS,
+        )
+        assert result.quantum_sensitivity[1.0] > 1.0
+        text = render_reuse_ablation(result)
+        assert "exponent" in text

@@ -1,0 +1,192 @@
+"""Tests for ticket/hybrid spin locks and spin barriers."""
+
+import pytest
+
+from repro.guest.barrier import SpinBarrier
+from repro.guest.phases import Compute
+from repro.guest.spinlock import SpinLock
+from repro.guest.thread import GuestThread, ThreadState
+
+
+def make_thread(name="t"):
+    def body(thread):
+        yield Compute(1)
+
+    return GuestThread(name, body)
+
+
+class TestUncontended:
+    def test_free_lock_acquires_immediately(self):
+        lock = SpinLock()
+        t = make_thread()
+        assert lock.try_acquire(t, now=100)
+        assert lock.owner is t
+        assert lock.stats.acquisitions == 1
+
+    def test_release_with_no_waiters(self):
+        lock = SpinLock()
+        t = make_thread()
+        lock.try_acquire(t, now=0)
+        assert lock.release(t, now=50) is None
+        assert lock.owner is None
+        assert lock.stats.total_hold_ns == 50
+
+    def test_release_by_non_owner_raises(self):
+        lock = SpinLock()
+        a, b = make_thread("a"), make_thread("b")
+        lock.try_acquire(a, now=0)
+        with pytest.raises(RuntimeError):
+            lock.release(b, now=10)
+
+    def test_reacquire_after_release(self):
+        lock = SpinLock()
+        t = make_thread()
+        lock.try_acquire(t, now=0)
+        lock.release(t, now=10)
+        assert lock.try_acquire(t, now=20)
+        assert lock.stats.acquisitions == 2
+
+
+class TestContended:
+    def test_contender_enqueues_and_spins(self):
+        lock = SpinLock()
+        a, b = make_thread("a"), make_thread("b")
+        lock.try_acquire(a, now=0)
+        assert not lock.try_acquire(b, now=5)
+        assert lock.waiting_count() == 1
+        assert lock.stats.contended_acquisitions == 1
+
+    def test_double_enqueue_is_idempotent(self):
+        lock = SpinLock()
+        a, b = make_thread("a"), make_thread("b")
+        lock.try_acquire(a, now=0)
+        lock.try_acquire(b, now=5)
+        lock.try_acquire(b, now=6)
+        assert lock.waiting_count() == 1
+
+    def test_fifo_release_grants_head_even_offcpu(self):
+        lock = SpinLock(handoff="fifo")
+        a, b = make_thread("a"), make_thread("b")
+        lock.try_acquire(a, now=0)
+        lock.try_acquire(b, now=1)
+        beneficiary = lock.release(a, now=10)
+        assert beneficiary is b
+        assert lock.granted_to is b
+        # nobody else can take it while the grant is outstanding
+        c = make_thread("c")
+        assert not lock.try_acquire(c, now=11)
+
+    def test_granted_thread_completes_acquisition(self):
+        lock = SpinLock(handoff="fifo")
+        a, b = make_thread("a"), make_thread("b")
+        lock.try_acquire(a, now=0)
+        lock.try_acquire(b, now=2)
+        lock.release(a, now=10)
+        assert lock.try_acquire(b, now=30)
+        assert lock.owner is b
+        # wait time runs from the acquire request (t=2) to the grant
+        # pickup (t=30)
+        assert lock.stats.total_wait_ns == 28
+
+    def test_hybrid_release_with_no_oncpu_waiter_leaves_lock_free(self):
+        lock = SpinLock(handoff="hybrid")
+        a, b = make_thread("a"), make_thread("b")
+        lock.try_acquire(a, now=0)
+        lock.try_acquire(b, now=1)  # b is not on a pCPU (vcpu is None)
+        assert lock.release(a, now=10) is None
+        assert lock.granted_to is None
+        # first scheduled waiter barges in
+        assert lock.try_acquire(b, now=20)
+
+    def test_hybrid_barging_by_newcomer(self):
+        lock = SpinLock(handoff="hybrid")
+        a, b, c = make_thread("a"), make_thread("b"), make_thread("c")
+        lock.try_acquire(a, now=0)
+        lock.try_acquire(b, now=1)
+        lock.release(a, now=5)
+        # c was never in the queue but the lock is free: TAS semantics
+        assert lock.try_acquire(c, now=6)
+
+    def test_unknown_handoff_rejected(self):
+        with pytest.raises(ValueError):
+            SpinLock(handoff="magic")
+
+    def test_mean_duration(self):
+        lock = SpinLock()
+        t = make_thread()
+        lock.try_acquire(t, now=0)
+        lock.release(t, now=100)
+        assert lock.stats.mean_duration_ns == pytest.approx(100.0)
+
+
+class TestBarrier:
+    def test_single_party_barrier_always_passes(self):
+        barrier = SpinBarrier("b", 1)
+        t = make_thread()
+        assert barrier.arrive(t) == []
+        assert barrier.generation == 1
+
+    def test_last_arrival_releases_others(self):
+        barrier = SpinBarrier("b", 3)
+        threads = [make_thread(str(i)) for i in range(3)]
+        assert barrier.arrive(threads[0]) is None
+        assert barrier.arrive(threads[1]) is None
+        released = barrier.arrive(threads[2])
+        assert set(released) == {threads[0], threads[1]}
+        assert barrier.rounds_completed == 1
+
+    def test_generations_advance(self):
+        barrier = SpinBarrier("b", 2)
+        a, b = make_thread("a"), make_thread("b")
+        barrier.arrive(a)
+        barrier.arrive(b)
+        assert barrier.generation == 1
+        barrier.arrive(a)
+        barrier.arrive(b)
+        assert barrier.generation == 2
+
+    def test_double_arrival_raises(self):
+        barrier = SpinBarrier("b", 3)
+        t = make_thread()
+        barrier.arrive(t)
+        with pytest.raises(RuntimeError):
+            barrier.arrive(t)
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            SpinBarrier("b", 0)
+
+
+class TestThreadMachinery:
+    def test_generator_lazily_started(self):
+        t = make_thread()
+        phase = t.current_phase()
+        assert isinstance(phase, Compute)
+
+    def test_exhausted_generator_yields_exit_forever(self):
+        t = make_thread()
+        t.current_phase()
+        from repro.guest.phases import Exit
+
+        assert isinstance(t.advance_phase(), Exit)
+        assert isinstance(t.advance_phase(), Exit)
+
+    def test_effective_profile_prefers_phase_profile(self):
+        from repro.hardware.cache import MemoryProfile
+
+        special = MemoryProfile(wss_bytes=1234)
+
+        def body(thread):
+            yield Compute(10, profile=special)
+
+        t = GuestThread("t", body, profile=MemoryProfile(wss_bytes=1))
+        t.current_phase()
+        assert t.effective_profile() is special
+
+    def test_runnable_states(self):
+        t = make_thread()
+        assert t.runnable
+        t.state = ThreadState.BLOCKED
+        assert not t.runnable
+        t.state = ThreadState.SPINNING
+        assert t.runnable

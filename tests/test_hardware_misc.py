@@ -1,0 +1,115 @@
+"""Tests for machine specs, topology, PMU counters and PLE detection."""
+
+import pytest
+
+from repro.hardware.cache import SegmentResult
+from repro.hardware.pmu import PmuCounters
+from repro.hardware.ple import PleDetector
+from repro.hardware.specs import KB, MB, CacheSpec, MachineSpec, i7_3770, xeon_e5_4603
+from repro.hardware.topology import Topology
+
+
+class TestSpecs:
+    def test_i7_matches_paper_table2(self):
+        spec = i7_3770()
+        assert spec.sockets == 1
+        assert spec.cores_per_socket == 8
+        assert spec.llc.capacity_bytes == 8 * MB
+        assert spec.l2.capacity_bytes == 256 * KB
+        assert spec.l1.capacity_bytes == 32 * KB
+
+    def test_xeon_is_four_sockets(self):
+        spec = xeon_e5_4603()
+        assert spec.sockets == 4
+        assert spec.total_cores == 16
+
+    def test_cycle_ns(self):
+        spec = i7_3770()
+        assert spec.cycle_ns == pytest.approx(1 / 3.4)
+
+    def test_cache_spec_validation(self):
+        with pytest.raises(ValueError):
+            CacheSpec(0)
+        with pytest.raises(ValueError):
+            CacheSpec(100, line_bytes=64)  # not a whole number of lines
+
+    def test_cache_lines(self):
+        assert CacheSpec(1 * MB).lines == 1 * MB // 64
+
+    def test_machine_spec_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec("x", sockets=0, cores_per_socket=4, freq_ghz=2.0)
+        with pytest.raises(ValueError):
+            MachineSpec("x", sockets=1, cores_per_socket=4, freq_ghz=0)
+
+
+class TestTopology:
+    def test_global_pcpu_ids_are_stable(self):
+        topo = Topology(xeon_e5_4603())
+        assert [p.cpu_id for p in topo.pcpus] == list(range(16))
+
+    def test_sockets_share_one_llc(self):
+        topo = Topology(xeon_e5_4603())
+        for socket in topo.sockets:
+            for pcpu in socket.pcpus:
+                assert pcpu.socket is socket
+        llcs = {id(s.llc) for s in topo.sockets}
+        assert len(llcs) == 4  # one distinct LLC per socket
+
+    def test_len_and_iter(self):
+        topo = Topology(i7_3770())
+        assert len(topo) == 8
+        assert len(list(topo)) == 8
+
+
+class TestPmu:
+    def test_accumulate_and_delta(self):
+        pmu = PmuCounters()
+        pmu.add_segment(SegmentResult(instructions=100, llc_refs=10, llc_misses=2))
+        snap = pmu.snapshot()
+        pmu.add(instructions=50, llc_refs=5, llc_misses=1)
+        delta = pmu.delta_since(snap)
+        assert delta.instructions == pytest.approx(50)
+        assert delta.llc_refs == pytest.approx(5)
+        assert delta.llc_misses == pytest.approx(1)
+
+    def test_snapshot_is_immutable_copy(self):
+        pmu = PmuCounters()
+        snap = pmu.snapshot()
+        pmu.add(10, 1, 0)
+        assert snap.instructions == 0
+
+
+class TestPle:
+    def test_one_exit_per_window(self):
+        ple = PleDetector(window_ns=10_000)
+        ple.note_spin(35_000)
+        assert ple.exits == 3
+
+    def test_residual_accumulates(self):
+        ple = PleDetector(window_ns=10_000)
+        ple.note_spin(6_000)
+        assert ple.exits == 0
+        ple.note_spin(6_000)
+        assert ple.exits == 1
+
+    def test_lock_event_fallback(self):
+        ple = PleDetector()
+        ple.note_lock_event(5)
+        assert ple.exits == 5
+
+    def test_delta(self):
+        ple = PleDetector(window_ns=1_000)
+        ple.note_spin(5_000)
+        snap = ple.snapshot()
+        ple.note_spin(3_000)
+        assert ple.delta_since(snap) == 3
+
+    def test_negative_spin_ignored(self):
+        ple = PleDetector()
+        ple.note_spin(-5)
+        assert ple.exits == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            PleDetector(window_ns=0)

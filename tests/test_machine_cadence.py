@@ -1,0 +1,122 @@
+"""Cadence and accounting-precision tests for the machine internals."""
+
+import pytest
+
+from repro.guest.phases import Compute
+from repro.guest.thread import GuestThread
+from repro.hypervisor.machine import Machine
+from repro.hypervisor.vm import Priority
+from repro.sim.units import MS, SEC
+
+
+def hog_body(thread):
+    while True:
+        yield Compute(5_000_000)
+
+
+class TestTickCadence:
+    def test_runtime_accounting_is_exact(self):
+        """Integrated run time matches wall time on a saturated pCPU
+        regardless of tick/quantum alignment."""
+        machine = Machine(seed=0, default_quantum_ns=7 * MS)  # odd quantum
+        pool = machine.create_pool("p", machine.topology.pcpus[:1], 7 * MS)
+        vm = machine.new_vm("vm", 1, pool=pool)
+        vm.guest.add_thread(GuestThread("t", hog_body))
+        machine.run(333 * MS)
+        machine.sync()
+        assert vm.vcpus[0].run_ns_total == pytest.approx(333 * MS, rel=1e-6)
+
+    def test_sync_is_idempotent(self):
+        machine = Machine(seed=0)
+        vm = machine.new_vm("vm", 1)
+        vm.guest.add_thread(GuestThread("t", hog_body))
+        machine.run(50 * MS)
+        machine.sync()
+        first = vm.vcpus[0].run_ns_total
+        machine.sync()
+        machine.sync()
+        assert vm.vcpus[0].run_ns_total == first
+
+    def test_instructions_match_run_time_for_flat_profile(self):
+        """base_cpi 0.3 ns + no memory: instructions = run_ns / 0.3."""
+        machine = Machine(seed=0)
+        vm = machine.new_vm("vm", 1)
+        thread = GuestThread("t", hog_body)
+        vm.guest.add_thread(thread)
+        machine.run(100 * MS)
+        machine.sync()
+        expected = thread.run_ns / 0.30
+        assert thread.instructions_retired == pytest.approx(expected, rel=1e-3)
+
+    def test_every_periodic_callback_fires(self):
+        machine = Machine(seed=0)
+        fired = []
+        machine.every(25 * MS, lambda: fired.append(machine.sim.now), "probe")
+        machine.run(200 * MS)
+        assert fired == [25 * MS * i for i in range(1, 9)]
+
+
+class TestGuestTimeslice:
+    def test_two_threads_one_vcpu_share_via_guest_slice(self):
+        machine = Machine(seed=0)
+        vm = machine.new_vm("vm", 1)
+        a = GuestThread("a", hog_body)
+        b = GuestThread("b", hog_body)
+        vm.guest.add_thread(a, vm.vcpus[0])
+        vm.guest.add_thread(b, vm.vcpus[0])
+        machine.run(1 * SEC)
+        machine.sync()
+        assert a.run_ns == pytest.approx(0.5 * SEC, rel=0.1)
+        assert b.run_ns == pytest.approx(0.5 * SEC, rel=0.1)
+
+    def test_guest_slice_is_finer_than_quantum(self):
+        """On a dedicated pCPU (no hypervisor preemption), the guest
+        still rotates its threads at tick granularity."""
+        machine = Machine(seed=0, default_quantum_ns=90 * MS)
+        vm = machine.new_vm("vm", 1)
+        a = GuestThread("a", hog_body)
+        b = GuestThread("b", hog_body)
+        vm.guest.add_thread(a, vm.vcpus[0])
+        vm.guest.add_thread(b, vm.vcpus[0])
+        machine.run(100 * MS)
+        machine.sync()
+        # both made progress well before the 90 ms quantum ended twice
+        assert a.run_ns > 10 * MS
+        assert b.run_ns > 10 * MS
+
+
+class TestPriorityDynamics:
+    def test_saturated_vcpus_credits_stay_bounded(self):
+        """Oversubscribed hogs oscillate between UNDER and OVER (they
+        burn a full quantum, then earn for three); balances never
+        escape the clip and at least one vCPU is in debt at any time."""
+        machine = Machine(seed=0)
+        pool = machine.create_pool("p", machine.topology.pcpus[:1], 30 * MS)
+        vms = [machine.new_vm(f"vm{i}", 1, pool=pool) for i in range(4)]
+        for vm in vms:
+            vm.guest.add_thread(GuestThread(vm.name, hog_body))
+        machine.run(1 * SEC)
+        clip = machine.params.credit_clip
+        credits = [vm.vcpus[0].credit for vm in vms]
+        assert all(-clip <= c <= clip for c in credits)
+        assert min(credits) <= 0  # whoever just ran is in debt
+
+    def test_idle_vcpu_stays_under(self):
+        machine = Machine(seed=0)
+        pool = machine.create_pool("p", machine.topology.pcpus[:1], 30 * MS)
+        idle_vm = machine.new_vm("idle", 1, pool=pool)  # no threads
+        hog_vm = machine.new_vm("hog", 1, pool=pool)
+        hog_vm.guest.add_thread(GuestThread("h", hog_body))
+        machine.run(500 * MS)
+        assert idle_vm.vcpus[0].credit > 0
+        assert machine.scheduler.priority_for(idle_vm.vcpus[0]) == Priority.UNDER
+
+
+class TestNewVmPoolParameter:
+    def test_vcpus_land_in_requested_pool(self):
+        machine = Machine(seed=0)
+        pool = machine.create_pool("p", machine.topology.pcpus[:2], 5 * MS)
+        vm = machine.new_vm("vm", 2, pool=pool)
+        for vcpu in vm.vcpus:
+            assert vcpu.pool is pool
+        assert len(machine.default_pool.vcpus) == 0

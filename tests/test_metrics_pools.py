@@ -1,0 +1,133 @@
+"""Tests for result tables, normalisation helpers and PoolPlan."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypervisor.machine import Machine
+from repro.hypervisor.pools import CpuPool, PoolPlan
+from repro.metrics.tables import ResultTable, format_quantum, normalize_map
+from repro.sim.units import MS
+from repro.workloads.base import PerfResult
+
+
+class TestResultTable:
+    def test_render_contains_rows(self):
+        table = ResultTable("Title", ["a", "b"])
+        table.add_row("x", 1.234)
+        text = table.render()
+        assert "Title" in text
+        assert "1.234" in text
+        assert "x" in text
+
+    def test_wrong_cell_count_rejected(self):
+        table = ResultTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_alignment_widths(self):
+        table = ResultTable("T", ["col"])
+        table.add_row("a-very-long-cell-value")
+        lines = table.render().splitlines()
+        assert len(lines[1]) <= len(lines[3])
+
+
+class TestNormalize:
+    def test_normalize_map(self):
+        base = {"a": PerfResult("a", "m", 2.0)}
+        res = {"a": PerfResult("a", "m", 1.0)}
+        assert normalize_map(res, base) == {"a": 0.5}
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(KeyError):
+            normalize_map({"a": PerfResult("a", "m", 1.0)}, {})
+
+    def test_format_quantum(self):
+        assert format_quantum(None) == "agnostic"
+        assert format_quantum(90 * MS) == "90ms"
+
+
+class TestCpuPool:
+    def test_load_ratio(self):
+        machine = Machine(seed=0)
+        pool = CpuPool(1, "p", 30 * MS)
+        pool.add_pcpu(machine.topology.pcpus[0])
+        vm = machine.new_vm("vm", 2)
+        for vcpu in vm.vcpus:
+            pool.add_vcpu(vcpu)
+        assert pool.load == 2.0
+
+    def test_empty_pool_with_vcpus_has_infinite_load(self):
+        machine = Machine(seed=0)
+        pool = CpuPool(1, "p", 30 * MS)
+        vm = machine.new_vm("vm", 1)
+        pool.add_vcpu(vm.vcpus[0])
+        assert pool.load == float("inf")
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            CpuPool(1, "p", 0)
+
+    def test_membership(self):
+        machine = Machine(seed=0)
+        pool = CpuPool(1, "p", 30 * MS)
+        pcpu = machine.topology.pcpus[0]
+        pool.add_pcpu(pcpu)
+        assert pcpu in pool
+        vm = machine.new_vm("vm", 1)
+        pool.add_vcpu(vm.vcpus[0])
+        assert vm.vcpus[0] in pool
+        pool.remove_vcpu(vm.vcpus[0])
+        assert vm.vcpus[0] not in pool
+        assert vm.vcpus[0].pool is None
+
+
+class TestPoolPlanValidation:
+    def test_valid_plan_passes(self):
+        machine = Machine(seed=0)
+        vm = machine.new_vm("vm", 2)
+        plan = PoolPlan()
+        plan.add("a", machine.topology.pcpus[:4], 1 * MS, [vm.vcpus[0]])
+        plan.add("b", machine.topology.pcpus[4:], 90 * MS, [vm.vcpus[1]])
+        plan.validate(machine.topology.pcpus, vm.vcpus)
+
+    def test_duplicate_pcpu_rejected(self):
+        machine = Machine(seed=0)
+        plan = PoolPlan()
+        plan.add("a", machine.topology.pcpus, 1 * MS, [])
+        plan.add("b", machine.topology.pcpus[:1], 1 * MS, [])
+        with pytest.raises(ValueError):
+            plan.validate(machine.topology.pcpus, [])
+
+    def test_vcpus_without_pcpus_rejected(self):
+        machine = Machine(seed=0)
+        vm = machine.new_vm("vm", 1)
+        plan = PoolPlan()
+        plan.add("a", [], 1 * MS, [vm.vcpus[0]])
+        plan.add("b", machine.topology.pcpus, 1 * MS, [])
+        with pytest.raises(ValueError):
+            plan.validate(machine.topology.pcpus, vm.vcpus)
+
+    def test_nonpositive_quantum_rejected(self):
+        machine = Machine(seed=0)
+        plan = PoolPlan()
+        plan.add("a", machine.topology.pcpus, 0, [])
+        with pytest.raises(ValueError):
+            plan.validate(machine.topology.pcpus, [])
+
+    @settings(max_examples=40, deadline=None)
+    @given(split=st.integers(min_value=0, max_value=8))
+    def test_any_partition_of_pcpus_is_valid(self, split):
+        machine = Machine(seed=0)
+        vm = machine.new_vm("vm", 1)
+        pcpus = machine.topology.pcpus
+        plan = PoolPlan()
+        target = 0 if split > 0 else 1
+        plan.add("a", pcpus[:split], 30 * MS,
+                 [vm.vcpus[0]] if split > 0 else [])
+        plan.add("b", pcpus[split:], 30 * MS,
+                 [] if split > 0 else [vm.vcpus[0]])
+        if split == 8:
+            # pool b empty of pcpus but holds no vcpus: fine
+            plan.entries[-1] = ("b", [], 30 * MS, [])
+        plan.validate(pcpus, vm.vcpus)

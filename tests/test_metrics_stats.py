@@ -1,0 +1,82 @@
+"""Tests for the machine statistics collector."""
+
+import pytest
+
+from repro.guest.phases import Compute
+from repro.guest.thread import GuestThread
+from repro.hypervisor.machine import Machine
+from repro.metrics.stats import StatsCollector
+from repro.sim.units import MS, SEC
+
+
+def hog_body(thread):
+    while True:
+        yield Compute(5_000_000)
+
+
+def build(seed=0, hogs=2, pcpus=1):
+    machine = Machine(seed=seed)
+    pool = machine.create_pool("p", machine.topology.pcpus[:pcpus], 30 * MS)
+    for i in range(hogs):
+        vm = machine.new_vm(f"vm{i}", 1)
+        machine.default_pool.remove_vcpu(vm.vcpus[0])
+        pool.add_vcpu(vm.vcpus[0])
+        vm.guest.add_thread(GuestThread(f"t{i}", hog_body))
+    return machine, pool
+
+
+class TestStatsCollector:
+    def test_shares_sum_to_pool_capacity(self):
+        machine, _ = build(hogs=4, pcpus=2)
+        collector = StatsCollector(machine)
+        machine.run(200 * MS)
+        collector.start()
+        machine.run(1 * SEC)
+        stats = collector.collect()
+        assert sum(stats.cpu_share.values()) == pytest.approx(2.0, rel=0.02)
+
+    def test_fair_hogs_have_fairness_near_one(self):
+        machine, _ = build(hogs=4, pcpus=1)
+        collector = StatsCollector(machine)
+        machine.run(200 * MS)
+        collector.start()
+        machine.run(2 * SEC)
+        stats = collector.collect()
+        assert stats.jain_fairness() > 0.98
+
+    def test_pool_utilization_saturated(self):
+        machine, pool = build(hogs=3, pcpus=1)
+        collector = StatsCollector(machine)
+        machine.run(100 * MS)
+        collector.start()
+        machine.run(500 * MS)
+        stats = collector.collect()
+        assert stats.pool_utilization["p"] == pytest.approx(1.0, rel=0.02)
+
+    def test_dispatch_and_instruction_counters(self):
+        machine, _ = build(hogs=2, pcpus=1)
+        collector = StatsCollector(machine)
+        machine.run(100 * MS)
+        collector.start()
+        machine.run(500 * MS)
+        stats = collector.collect()
+        assert stats.dispatches > 0
+        assert stats.total_instructions > 0
+
+    def test_empty_window_rejected(self):
+        machine, _ = build()
+        collector = StatsCollector(machine)
+        machine.run(10 * MS)
+        collector.start()
+        with pytest.raises(RuntimeError):
+            collector.collect()
+
+    def test_idle_machine_zero_utilization(self):
+        machine = Machine(seed=0)
+        machine.new_vm("idle", 1)
+        collector = StatsCollector(machine)
+        machine.run(10 * MS)
+        collector.start()
+        machine.run(100 * MS)
+        stats = collector.collect()
+        assert stats.machine_utilization == pytest.approx(0.0, abs=1e-6)

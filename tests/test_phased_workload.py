@@ -1,0 +1,111 @@
+"""Tests for the phase-shifting workload and AQL's adaptation to it."""
+
+import pytest
+
+from repro.core.aql import AqlScheduler
+from repro.core.types import VCpuType
+from repro.core.vtrs import VTRS
+from repro.hypervisor.machine import Machine
+from repro.sim.units import MS, SEC
+from repro.workloads.phased import PHASE_KINDS, BehaviourPhase, PhasedWorkload
+
+
+class TestBehaviourPhase:
+    def test_valid_kinds(self):
+        for kind in PHASE_KINDS:
+            BehaviourPhase(kind, 100 * MS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BehaviourPhase("quantum-leap", 100 * MS)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            BehaviourPhase("llcf", 0)
+
+
+class TestPhasedWorkload:
+    def _machine(self):
+        machine = Machine(seed=3)
+        pool = machine.create_pool("p", machine.topology.pcpus[:1], 30 * MS)
+        vm = machine.new_vm("vm", 1)
+        machine.default_pool.remove_vcpu(vm.vcpus[0])
+        pool.add_vcpu(vm.vcpus[0])
+        return machine, vm
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedWorkload("p", phases=[])
+
+    def test_cycles_complete(self):
+        machine, vm = self._machine()
+        workload = PhasedWorkload(
+            "p",
+            phases=[
+                BehaviourPhase("lolcf", 50 * MS),
+                BehaviourPhase("io", 50 * MS),
+            ],
+        )
+        workload.install(machine, vm)
+        machine.run(200 * MS)
+        workload.begin_measurement()
+        machine.run(600 * MS)
+        result = workload.result()
+        assert result.metric == "ns_per_cycle"
+        assert dict(result.details)["cycles"] >= 2
+
+    def test_vtrs_follows_the_phases(self):
+        machine, vm = self._machine()
+        workload = PhasedWorkload(
+            "p",
+            phases=[
+                BehaviourPhase("llco", 600 * MS),
+                BehaviourPhase("io", 600 * MS),
+            ],
+        )
+        workload.install(machine, vm)
+        vtrs = VTRS(machine).attach()
+        observed = set()
+        for _ in range(24):
+            machine.run(100 * MS)
+            verdict = vtrs.type_of(vm.vcpus[0])
+            if verdict is not None:
+                observed.add(verdict)
+        assert VCpuType.LLCO in observed
+        assert VCpuType.IOINT in observed
+
+    def test_aql_recluster_on_phase_change(self):
+        """A phase-shifting vCPU forces periodic re-clustering."""
+        machine = Machine(seed=3)
+        pool = machine.create_pool("p", machine.topology.pcpus[:2], 30 * MS)
+        from repro.guest.thread import GuestThread
+        from repro.guest.phases import Compute
+        from repro.workloads.profiles import llcf_profile
+
+        # a steady LLCF companion so there are two distinct clusters
+        steady_vm = machine.new_vm("steady", 1)
+        machine.default_pool.remove_vcpu(steady_vm.vcpus[0])
+        pool.add_vcpu(steady_vm.vcpus[0])
+
+        def steady(thread):
+            while True:
+                yield Compute(5_000_000, profile=llcf_profile(machine.spec))
+
+        steady_vm.guest.add_thread(GuestThread("s", steady))
+
+        phased_vm = machine.new_vm("phased", 1)
+        machine.default_pool.remove_vcpu(phased_vm.vcpus[0])
+        pool.add_vcpu(phased_vm.vcpus[0])
+        workload = PhasedWorkload(
+            "p",
+            phases=[
+                BehaviourPhase("io", 500 * MS),
+                BehaviourPhase("llcf", 500 * MS),
+            ],
+        )
+        workload.install(machine, phased_vm)
+        manager = AqlScheduler(machine, pcpus=pool.pcpus).attach()
+        machine.run(4 * SEC)
+        # the layout must have changed more than once: IO phases pull
+        # the vCPU into a 1 ms pool, compute phases out of it
+        assert manager.reconfigurations >= 3

@@ -1,0 +1,190 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator, noop
+from repro.sim.units import MS, SEC, US, fmt_time
+
+
+class TestScheduling:
+    def test_at_runs_callback_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.at(100, lambda: fired.append(sim.now))
+        sim.run_until(200)
+        assert fired == [100]
+
+    def test_after_is_relative_to_now(self):
+        sim = Simulator()
+        fired = []
+        sim.at(50, lambda: sim.after(25, lambda: fired.append(sim.now)))
+        sim.run_until(100)
+        assert fired == [75]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(10, lambda: order.append("a"))
+        sim.at(10, lambda: order.append("b"))
+        sim.at(10, lambda: order.append("c"))
+        sim.run_until(10)
+        assert order == ["a", "b", "c"]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(30, lambda: order.append(30))
+        sim.at(10, lambda: order.append(10))
+        sim.at(20, lambda: order.append(20))
+        sim.run_until(100)
+        assert order == [10, 20, 30]
+
+    def test_scheduling_in_past_raises(self):
+        sim = Simulator()
+        sim.run_until(100)
+        with pytest.raises(SimulationError):
+            sim.at(50, noop)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1, noop)
+
+    def test_event_scheduled_now_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.run_until(100)
+        sim.at(100, lambda: fired.append(True))
+        sim.run_until(100)
+        assert fired == [True]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.at(10, lambda: fired.append(True))
+        event.cancel()
+        sim.run_until(100)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.at(10, noop)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_cancel_from_earlier_event(self):
+        sim = Simulator()
+        fired = []
+        later = sim.at(20, lambda: fired.append("later"))
+        sim.at(10, later.cancel)
+        sim.run_until(100)
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.at(10, noop)
+        sim.at(20, noop)
+        assert sim.pending == 2
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestRunning:
+    def test_clock_lands_exactly_on_end_time(self):
+        sim = Simulator()
+        sim.at(10, noop)
+        sim.run_until(55)
+        assert sim.now == 55
+
+    def test_run_until_past_raises(self):
+        sim = Simulator()
+        sim.run_until(100)
+        with pytest.raises(SimulationError):
+            sim.run_until(50)
+
+    def test_events_beyond_horizon_stay_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.at(200, lambda: fired.append(True))
+        sim.run_until(100)
+        assert fired == []
+        sim.run_until(300)
+        assert fired == [True]
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in (1, 2, 3):
+            sim.at(t, noop)
+        sim.run_until(10)
+        assert sim.events_fired == 3
+
+    def test_step_fires_single_event(self):
+        sim = Simulator()
+        order = []
+        sim.at(5, lambda: order.append(5))
+        sim.at(7, lambda: order.append(7))
+        event = sim.step()
+        assert isinstance(event, Event)
+        assert order == [5]
+        assert sim.now == 5
+
+    def test_step_empty_returns_none(self):
+        sim = Simulator()
+        assert sim.step() is None
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.at(5, noop)
+        sim.at(9, noop)
+        first.cancel()
+        assert sim.peek_time() == 9
+
+    def test_peek_time_empty(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+
+    def test_reentrant_run_raises(self):
+        sim = Simulator()
+
+        def reenter():
+            sim.run_until(100)
+
+        sim.at(1, reenter)
+        with pytest.raises(SimulationError):
+            sim.run_until(10)
+
+
+class TestPeriodicPattern:
+    def test_self_rescheduling_event(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.after(10, tick)
+
+        sim.after(10, tick)
+        sim.run_until(55)
+        assert ticks == [10, 20, 30, 40, 50]
+
+
+class TestUnits:
+    def test_constants(self):
+        assert US == 1_000
+        assert MS == 1_000_000
+        assert SEC == 1_000_000_000
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (5, "5ns"),
+            (3 * US, "3.000us"),
+            (30 * MS, "30.000ms"),
+            (2 * SEC, "2.000s"),
+        ],
+    )
+    def test_fmt_time(self, value, expected):
+        assert fmt_time(value) == expected

@@ -1,0 +1,72 @@
+"""Tests for RNG stream management and the trace recorder."""
+
+import pytest
+
+from repro.sim.rng import RngFactory
+from repro.sim.tracing import TraceRecorder
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(42).stream("io/vm1")
+        b = RngFactory(42).stream("io/vm1")
+        assert list(a.integers(0, 1000, 10)) == list(b.integers(0, 1000, 10))
+
+    def test_different_names_different_streams(self):
+        factory = RngFactory(42)
+        a = factory.stream("io/vm1")
+        b = factory.stream("io/vm2")
+        assert list(a.integers(0, 10**9, 8)) != list(b.integers(0, 10**9, 8))
+
+    def test_different_seeds_different_streams(self):
+        a = RngFactory(1).stream("x")
+        b = RngFactory(2).stream("x")
+        assert list(a.integers(0, 10**9, 8)) != list(b.integers(0, 10**9, 8))
+
+    def test_child_factory_is_deterministic(self):
+        a = RngFactory(7).child("sub").stream("s")
+        b = RngFactory(7).child("sub").stream("s")
+        assert a.integers(0, 10**9) == b.integers(0, 10**9)
+
+    def test_child_differs_from_parent(self):
+        parent = RngFactory(7)
+        child = parent.child("sub")
+        assert parent.seed != child.seed
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "x", None])
+    def test_invalid_seed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            RngFactory(bad)
+
+
+class TestTraceRecorder:
+    def test_disabled_recorder_drops_records(self):
+        trace = TraceRecorder(enabled=False)
+        trace.emit(1, "dispatch", vcpu="a")
+        assert len(trace) == 0
+
+    def test_enabled_recorder_keeps_records(self):
+        trace = TraceRecorder(enabled=True)
+        trace.emit(1, "dispatch", vcpu="a")
+        trace.emit(2, "block", vcpu="a")
+        assert len(trace) == 2
+        assert trace.records()[0].payload == {"vcpu": "a"}
+
+    def test_kind_filter(self):
+        trace = TraceRecorder(enabled=True, kinds={"block"})
+        trace.emit(1, "dispatch")
+        trace.emit(2, "block")
+        assert [r.kind for r in trace] == ["block"]
+
+    def test_records_by_kind(self):
+        trace = TraceRecorder(enabled=True)
+        trace.emit(1, "a")
+        trace.emit(2, "b")
+        trace.emit(3, "a")
+        assert [r.time for r in trace.records("a")] == [1, 3]
+
+    def test_clear(self):
+        trace = TraceRecorder(enabled=True)
+        trace.emit(1, "a")
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,96 @@
+"""Tests for the named application catalog."""
+
+import pytest
+
+from repro.core.types import VCpuType
+from repro.hardware.specs import i7_3770
+from repro.workloads.cpu import CpuBurnWorkload
+from repro.workloads.io_workload import IoWorkload
+from repro.workloads.spin import SpinWorkload
+from repro.workloads.suites import (
+    APP_CATALOG,
+    make_app,
+    programs_of_suite,
+)
+
+
+class TestCatalogContents:
+    def test_paper_table3_classes(self):
+        """Every program lands in the class the paper's Table 3 lists."""
+        expectations = {
+            "astar": VCpuType.LLCF,
+            "xalancbmk": VCpuType.LLCF,
+            "bzip2": VCpuType.LLCF,
+            "gcc": VCpuType.LLCF,
+            "omnetpp": VCpuType.LLCF,
+            "hmmer": VCpuType.LOLCF,
+            "gobmk": VCpuType.LOLCF,
+            "perlbench": VCpuType.LOLCF,
+            "sjeng": VCpuType.LOLCF,
+            "h264ref": VCpuType.LOLCF,
+            "mcf": VCpuType.LLCO,
+            "libquantum": VCpuType.LLCO,
+            "specweb2009": VCpuType.IOINT,
+            "specmail2009": VCpuType.IOINT,
+        }
+        for name, vtype in expectations.items():
+            assert APP_CATALOG[name].expected_type == vtype
+
+    def test_all_twelve_parsec_programs_present(self):
+        parsec = programs_of_suite("parsec")
+        assert len(parsec) == 12
+        assert all(a.expected_type == VCpuType.CONSPIN for a in parsec)
+
+    def test_calibration_micro_benchmarks_present(self):
+        for name in ("wordpress", "kernbench", "listwalk-llcf",
+                     "listwalk-lolcf", "listwalk-llco"):
+            assert name in APP_CATALOG
+
+    def test_catalog_size(self):
+        # 12 SPEC CPU2006 + 12 PARSEC + 2 SPEC server + 5 micro
+        assert len(APP_CATALOG) == 31
+
+
+class TestMakeApp:
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            make_app("doom", i7_3770())
+
+    def test_cpu_app_type(self):
+        app = make_app("bzip2", i7_3770())
+        assert isinstance(app, CpuBurnWorkload)
+
+    def test_parsec_app_threads_follow_vcpus(self):
+        app = make_app("facesim", i7_3770(), vcpus=4)
+        assert isinstance(app, SpinWorkload)
+        assert app.threads_wanted == 4
+
+    def test_web_app_type(self):
+        app = make_app("specweb2009", i7_3770(), vcpus=2)
+        assert isinstance(app, IoWorkload)
+        assert app.vcpus_wanted == 2
+
+    def test_per_program_jitter_distinguishes_programs(self):
+        spec = i7_3770()
+        a = make_app("astar", spec)
+        b = make_app("bzip2", spec)
+        assert a.profile.wss_bytes != b.profile.wss_bytes
+
+    def test_jitter_is_deterministic(self):
+        spec = i7_3770()
+        assert (
+            make_app("astar", spec).profile.wss_bytes
+            == make_app("astar", spec).profile.wss_bytes
+        )
+
+    def test_llco_programs_overflow_llc(self):
+        spec = i7_3770()
+        for name in ("mcf", "libquantum"):
+            app = make_app(name, spec)
+            assert app.profile.wss_bytes > spec.llc.capacity_bytes
+
+    def test_lolcf_programs_fit_l2(self):
+        spec = i7_3770()
+        for name in ("hmmer", "sjeng", "gobmk", "perlbench", "h264ref"):
+            app = make_app(name, spec)
+            assert app.profile.wss_bytes <= spec.l2.capacity_bytes

@@ -1,0 +1,229 @@
+"""Tests for the workload layer: CPU burn, IO services, spin workers."""
+
+import pytest
+
+from repro.hypervisor.machine import Machine
+from repro.sim.units import MS, SEC
+from repro.workloads.base import PerfResult
+from repro.workloads.cpu import CpuBurnWorkload
+from repro.workloads.io_workload import IoWorkload
+from repro.workloads.profiles import (
+    llcf_profile,
+    llco_profile,
+    lolcf_profile,
+)
+from repro.workloads.spin import SpinWorkload
+
+
+def machine_with_pool(pcpus=1, seed=0):
+    machine = Machine(seed=seed)
+    pool = machine.create_pool("p", machine.topology.pcpus[:pcpus], 30 * MS)
+
+    def place(vm):
+        for vcpu in vm.vcpus:
+            machine.default_pool.remove_vcpu(vcpu)
+            pool.add_vcpu(vcpu)
+
+    return machine, place
+
+
+class TestProfiles:
+    def test_llcf_fits_llc(self):
+        spec = Machine(seed=0).spec
+        profile = llcf_profile(spec, 0.5)
+        assert profile.wss_bytes == spec.llc.capacity_bytes // 2
+
+    def test_llco_overflows_llc(self):
+        spec = Machine(seed=0).spec
+        assert llco_profile(spec).wss_bytes > spec.llc.capacity_bytes
+
+    def test_lolcf_fits_l2(self):
+        spec = Machine(seed=0).spec
+        assert lolcf_profile(spec).wss_bytes <= spec.l2.capacity_bytes
+
+    def test_validation(self):
+        spec = Machine(seed=0).spec
+        with pytest.raises(ValueError):
+            llcf_profile(spec, 0.0)
+        with pytest.raises(ValueError):
+            llco_profile(spec, 0.5)
+        with pytest.raises(ValueError):
+            lolcf_profile(spec, 1.5)
+
+
+class TestCpuBurn:
+    def test_measures_inverse_throughput(self):
+        machine, place = machine_with_pool()
+        vm = machine.new_vm("vm", 1)
+        place(vm)
+        workload = CpuBurnWorkload("w", lolcf_profile(machine.spec))
+        workload.install(machine, vm)
+        machine.run(200 * MS)
+        workload.begin_measurement()
+        machine.run(500 * MS)
+        machine.sync()
+        result = workload.result()
+        assert result.metric == "ns_per_instr"
+        # LoLCF alone: ~base CPI + small stall
+        assert 0.2 < result.value < 0.6
+
+    def test_result_before_measurement_raises(self):
+        machine, place = machine_with_pool()
+        vm = machine.new_vm("vm", 1)
+        place(vm)
+        workload = CpuBurnWorkload("w", lolcf_profile(machine.spec))
+        workload.install(machine, vm)
+        with pytest.raises(RuntimeError):
+            workload.result()
+
+    def test_double_install_rejected(self):
+        machine, place = machine_with_pool()
+        vm = machine.new_vm("vm", 1)
+        place(vm)
+        workload = CpuBurnWorkload("w", lolcf_profile(machine.spec))
+        workload.install(machine, vm)
+        with pytest.raises(RuntimeError):
+            workload.install(machine, vm)
+
+    def test_too_few_vcpus_rejected(self):
+        machine, place = machine_with_pool()
+        vm = machine.new_vm("vm", 1)
+        place(vm)
+        workload = CpuBurnWorkload("w", lolcf_profile(machine.spec), vcpus=2)
+        with pytest.raises(ValueError):
+            workload.install(machine, vm)
+
+    def test_multi_vcpu_counts_all_threads(self):
+        machine, place = machine_with_pool(pcpus=2)
+        vm = machine.new_vm("vm", 2, weight=512)
+        place(vm)
+        workload = CpuBurnWorkload("w", lolcf_profile(machine.spec), vcpus=2)
+        workload.install(machine, vm)
+        machine.run(100 * MS)
+        machine.sync()
+        assert len(workload.threads) == 2
+        assert all(t.instructions_retired > 0 for t in workload.threads)
+
+
+class TestIoWorkload:
+    def test_exclusive_low_latency_alone(self):
+        machine, place = machine_with_pool()
+        vm = machine.new_vm("vm", 1)
+        place(vm)
+        workload = IoWorkload.exclusive("io")
+        workload.install(machine, vm)
+        machine.run(300 * MS)
+        workload.begin_measurement()
+        machine.run(500 * MS)
+        result = workload.result()
+        assert result.metric == "latency_ns"
+        assert result.value < 1 * MS
+
+    def test_closed_loop_population_is_stable(self):
+        machine, place = machine_with_pool()
+        vm = machine.new_vm("vm", 1)
+        place(vm)
+        workload = IoWorkload("io", clients=4, think_ns=2 * MS,
+                              service_instructions=10_000)
+        workload.install(machine, vm)
+        machine.run(1 * SEC)
+        port = workload.ports[0]
+        # in-flight = posted - consumed <= population
+        assert port.posted - port.consumed <= 4
+
+    def test_heterogeneous_has_cgi_threads(self):
+        machine, place = machine_with_pool()
+        vm = machine.new_vm("vm", 1)
+        place(vm)
+        workload = IoWorkload.heterogeneous("io", machine.spec)
+        workload.install(machine, vm)
+        assert len(workload.cgi_threads) == 1
+        machine.run(300 * MS)
+        machine.sync()
+        assert workload.cgi_threads[0].instructions_retired > 0
+
+    def test_multi_vcpu_service(self):
+        machine, place = machine_with_pool(pcpus=2)
+        vm = machine.new_vm("vm", 2, weight=512)
+        place(vm)
+        workload = IoWorkload.exclusive("io", vcpus=2)
+        workload.install(machine, vm)
+        machine.run(300 * MS)
+        assert len(workload.ports) == 2
+        assert all(p.posted > 0 for p in workload.ports)
+
+    def test_no_requests_in_window_raises(self):
+        machine, place = machine_with_pool()
+        vm = machine.new_vm("vm", 1)
+        place(vm)
+        workload = IoWorkload("io", clients=1, think_ns=10 * SEC)
+        workload.install(machine, vm)
+        machine.run(10 * MS)
+        workload.begin_measurement()
+        with pytest.raises(RuntimeError):
+            workload.result()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IoWorkload("io", clients=0)
+        with pytest.raises(ValueError):
+            IoWorkload("io", vcpus=0)
+        with pytest.raises(ValueError):
+            IoWorkload("io", think_ns=-1)
+
+
+class TestSpinWorkload:
+    def test_rounds_complete(self):
+        machine, place = machine_with_pool(pcpus=2)
+        vm = machine.new_vm("vm", 4, weight=1024)
+        place(vm)
+        workload = SpinWorkload("s", threads=4)
+        workload.install(machine, vm)
+        machine.run(500 * MS)
+        workload.begin_measurement()
+        machine.run(1 * SEC)
+        result = workload.result()
+        assert result.metric == "ns_per_round"
+        assert dict(result.details)["rounds"] > 0
+
+    def test_dense_mode_counts_loop_rounds(self):
+        machine, place = machine_with_pool(pcpus=2)
+        vm = machine.new_vm("vm", 2, weight=512)
+        place(vm)
+        workload = SpinWorkload(
+            "s", threads=2, work_instructions=100_000.0, use_barrier=False
+        )
+        workload.install(machine, vm)
+        machine.run(300 * MS)
+        assert workload.rounds_completed > 0
+        assert workload.barrier.rounds_completed == 0
+
+    def test_lock_stats_populated(self):
+        machine, place = machine_with_pool(pcpus=1)
+        vm = machine.new_vm("vm", 2, weight=512)
+        place(vm)
+        workload = SpinWorkload("s", threads=2, work_instructions=500_000.0)
+        workload.install(machine, vm)
+        machine.run(1 * SEC)
+        assert workload.lock.stats.acquisitions > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpinWorkload("s", threads=0)
+        with pytest.raises(ValueError):
+            SpinWorkload("s", work_instructions=0)
+        with pytest.raises(ValueError):
+            SpinWorkload("s", sleep_ns=-1)
+
+
+class TestPerfResult:
+    def test_normalized_to(self):
+        a = PerfResult("a", "latency_ns", 2.0)
+        b = PerfResult("b", "latency_ns", 4.0)
+        assert b.normalized_to(a) == 2.0
+
+    def test_zero_baseline_rejected(self):
+        a = PerfResult("a", "latency_ns", 0.0)
+        b = PerfResult("b", "latency_ns", 4.0)
+        with pytest.raises(ValueError):
+            b.normalized_to(a)
