@@ -1,8 +1,9 @@
 # Convenience targets for the AQL_Sched reproduction.
 
 PYTHON ?= python3
+JOBS ?= 4
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench figures sweep examples clean clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +17,9 @@ bench:
 figures:
 	$(PYTHON) -m repro.experiments all
 
+sweep:
+	$(PYTHON) -m repro.experiments all --jobs $(JOBS)
+
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/consolidated_cloud.py
@@ -26,3 +30,6 @@ examples:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .hypothesis build *.egg-info
+
+clean-cache:
+	rm -rf .repro_cache

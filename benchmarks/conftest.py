@@ -5,6 +5,12 @@ full simulations, so each is executed exactly once
 (``benchmark.pedantic(rounds=1)``) — the interesting output is the
 printed table (run with ``pytest benchmarks/ --benchmark-only -s``),
 and the benchmark timing records the experiment's wall-clock cost.
+
+Sweep-based benchmarks take the session-scoped ``sweep_runner``
+fixture: by default it runs serially with no cache (timings stay
+honest), but setting ``REPRO_JOBS=8`` fans the sweep cells of each
+figure out over worker processes — the whole harness then scales with
+the machine instead of a single core.
 """
 
 import pytest
@@ -21,3 +27,15 @@ def once(benchmark):
         return run_once(benchmark, fn)
 
     return runner
+
+
+@pytest.fixture(scope="session")
+def sweep_runner():
+    """Shared sweep engine: serial unless ``REPRO_JOBS`` says otherwise.
+
+    Deliberately cache-less — a benchmark that replays cached results
+    would report a meaningless wall-clock time.
+    """
+    from repro.exec import SweepRunner
+
+    return SweepRunner()

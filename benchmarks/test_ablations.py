@@ -15,8 +15,8 @@ from repro.experiments.ablations import (
 )
 
 
-def test_boost_ablation(once):
-    result = once(run_boost_ablation)
+def test_boost_ablation(once, sweep_runner):
+    result = once(lambda: run_boost_ablation(runner=sweep_runner))
     print()
     print(render_boost_ablation(result))
     # with BOOST, exclusive IO is quantum-agnostic...
@@ -28,8 +28,8 @@ def test_boost_ablation(once):
     assert off_90 > 3 * on_90
 
 
-def test_lock_handoff_ablation(once):
-    result = once(run_lock_handoff_ablation)
+def test_lock_handoff_ablation(once, sweep_runner):
+    result = once(lambda: run_lock_handoff_ablation(runner=sweep_runner))
     print()
     print(render_lock_handoff_ablation(result))
     # FIFO (ticket) handoff loses at every quantum once consolidated —

@@ -11,8 +11,10 @@ from repro.experiments.fig2_calibration import render_fig2, run_fig2
 from repro.sim.units import MS, SEC
 
 
-def test_fig2_calibration(once):
-    result = once(lambda: run_fig2(warmup_ns=1 * SEC, measure_ns=3 * SEC))
+def test_fig2_calibration(once, sweep_runner):
+    result = once(lambda: run_fig2(
+        warmup_ns=1 * SEC, measure_ns=3 * SEC, runner=sweep_runner
+    ))
     print()
     print(render_fig2(result))
 

@@ -19,8 +19,8 @@ RUN = dict(warmup_ns=2 * SEC, measure_ns=4 * SEC, seed=1)
 SENSITIVE = {"IOInt", "ConSpin"}
 
 
-def test_fig6_single_socket(once):
-    single = once(lambda: run_fig6_single(**RUN))
+def test_fig6_single_socket(once, sweep_runner):
+    single = once(lambda: run_fig6_single(runner=sweep_runner, **RUN))
     print()
     print(render_fig6(Fig6Result(single_socket=single)))
 
@@ -35,8 +35,8 @@ def test_fig6_single_socket(once):
                 assert value < 1.25, f"{name}/{key}: agnostic harmed ({value})"
 
 
-def test_fig6_multi_socket(once):
-    multi = once(lambda: run_fig6_multi(**RUN))
+def test_fig6_multi_socket(once, sweep_runner):
+    multi = once(lambda: run_fig6_multi(runner=sweep_runner, **RUN))
     print()
     print(render_fig6(Fig6Result(single_socket={}, multi_socket=multi)))
 

@@ -9,9 +9,12 @@ from repro.experiments.fig7_customization import render_fig7, run_fig7
 from repro.sim.units import SEC
 
 
-def test_fig7_customization(once):
+def test_fig7_customization(once, sweep_runner):
     result = once(
-        lambda: run_fig7(warmup_ns=2 * SEC, measure_ns=4 * SEC, seed=1)
+        lambda: run_fig7(
+            warmup_ns=2 * SEC, measure_ns=4 * SEC, seed=1,
+            runner=sweep_runner,
+        )
     )
     print()
     print(render_fig7(result))

@@ -8,9 +8,12 @@ from repro.experiments.fig8_comparison import render_fig8, run_fig8
 from repro.sim.units import SEC
 
 
-def test_fig8_comparison(once):
+def test_fig8_comparison(once, sweep_runner):
     result = once(
-        lambda: run_fig8(warmup_ns=2 * SEC, measure_ns=4 * SEC, seed=1)
+        lambda: run_fig8(
+            warmup_ns=2 * SEC, measure_ns=4 * SEC, seed=1,
+            runner=sweep_runner,
+        )
     )
     print()
     print(render_fig8(result))

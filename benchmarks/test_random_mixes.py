@@ -7,8 +7,8 @@ from repro.experiments.random_mixes import (
 )
 
 
-def test_random_mixes(once):
-    result = once(lambda: run_random_mixes(mixes=5))
+def test_random_mixes(once, sweep_runner):
+    result = once(lambda: run_random_mixes(mixes=5, runner=sweep_runner))
     print()
     print(render_random_mixes(result))
 

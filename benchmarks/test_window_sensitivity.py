@@ -6,8 +6,8 @@ from repro.experiments.window_sensitivity import (
 )
 
 
-def test_window_sensitivity(once):
-    result = once(run_window_sensitivity)
+def test_window_sensitivity(once, sweep_runner):
+    result = once(lambda: run_window_sensitivity(runner=sweep_runner))
     print()
     print(render_window_sensitivity(result))
 

@@ -19,9 +19,12 @@ AQL_Sched can run without re-calibrating.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.types import VCpuType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec import SweepRunner
 from repro.hardware.specs import MachineSpec, i7_3770
 from repro.hypervisor.machine import Machine
 from repro.sim.units import MS, SEC
@@ -208,6 +211,30 @@ def _measure_lock_duration(
     return total / acquisitions
 
 
+def measure_calibration_cell(
+    kind: str,
+    quantum_ms: int,
+    vcpus_per_pcpu: int,
+    spec: MachineSpec,
+    warmup_ns: int,
+    measure_ns: int,
+    seed: int,
+) -> float:
+    """One independent Fig. 2 cell — the sweep's unit of work.
+
+    Module-level and pure-by-parameters so :class:`repro.exec.SweepRunner`
+    can ship it to a worker process and cache its result.
+    """
+    machine, baseline, _ = _build_calibration_machine(
+        kind, quantum_ms, vcpus_per_pcpu, spec, seed
+    )
+    machine.run(warmup_ns)
+    baseline.begin_measurement()
+    machine.run(measure_ns)
+    machine.sync()
+    return baseline.result().value
+
+
 def run_calibration(
     spec: Optional[MachineSpec] = None,
     quanta_ms: tuple[int, ...] = CALIBRATION_QUANTA_MS,
@@ -217,37 +244,60 @@ def run_calibration(
     measure_ns: int = 3 * SEC,
     seed: int = 0,
     agnostic_threshold: float = 0.25,
+    runner: Optional["SweepRunner"] = None,
 ) -> CalibrationResult:
     """Run the full §3.4 calibration sweep on the simulator."""
+    from repro.exec import Cell, SweepRunner
+
     spec = spec or i7_3770()
     if DEFAULT_QUANTUM_MS not in quanta_ms:
         raise ValueError("the sweep must include the 30 ms reference")
+    runner = runner or SweepRunner()
     result = CalibrationResult()
 
+    grid = [
+        (kind, k, quantum_ms)
+        for kind in kinds
+        for k in consolidations
+        for quantum_ms in quanta_ms
+    ]
+    cells = [
+        Cell(
+            measure_calibration_cell,
+            dict(
+                kind=kind, quantum_ms=quantum_ms, vcpus_per_pcpu=k,
+                spec=spec, warmup_ns=warmup_ns, measure_ns=measure_ns,
+                seed=seed,
+            ),
+            label=f"fig2:{kind}:{quantum_ms}ms:x{k}",
+        )
+        for kind, k, quantum_ms in grid
+    ]
+    lock_quanta = list(quanta_ms) if "conspin" in kinds else []
+    cells.extend(
+        Cell(
+            _measure_lock_duration,
+            dict(
+                spec=spec, quantum_ms=quantum_ms, warmup_ns=warmup_ns,
+                measure_ns=measure_ns, seed=seed,
+            ),
+            label=f"fig2:lock-inset:{quantum_ms}ms",
+        )
+        for quantum_ms in lock_quanta
+    )
+    values = runner.run(cells)
+
+    for (kind, k, quantum_ms), value in zip(grid, values):
+        result.raw[(kind, quantum_ms, k)] = value
     for kind in kinds:
-        for k in consolidations:
-            for quantum_ms in quanta_ms:
-                machine, baseline, spin = _build_calibration_machine(
-                    kind, quantum_ms, k, spec, seed
-                )
-                machine.run(warmup_ns)
-                baseline.begin_measurement()
-                machine.run(measure_ns)
-                machine.sync()
-                perf = baseline.result()
-                result.raw[(kind, quantum_ms, k)] = perf.value
         for k in consolidations:
             reference = result.raw[(kind, DEFAULT_QUANTUM_MS, k)]
             for quantum_ms in quanta_ms:
                 result.normalized[(kind, quantum_ms, k)] = (
                     result.raw[(kind, quantum_ms, k)] / reference
                 )
-
-    if "conspin" in kinds:
-        for quantum_ms in quanta_ms:
-            result.lock_duration_ns[quantum_ms] = _measure_lock_duration(
-                spec, quantum_ms, warmup_ns, measure_ns, seed
-            )
+    for quantum_ms, value in zip(lock_quanta, values[len(grid):]):
+        result.lock_duration_ns[quantum_ms] = value
 
     # derive best quanta from the highest consolidation (the paper's
     # "most common case", 4 vCPUs per pCPU)
@@ -275,5 +325,6 @@ __all__ = [
     "KIND_FOR_TYPE",
     "PAPER_BEST_QUANTA",
     "CalibrationResult",
+    "measure_calibration_cell",
     "run_calibration",
 ]

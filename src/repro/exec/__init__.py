@@ -1,0 +1,40 @@
+"""``repro.exec`` — parallel experiment execution with result caching.
+
+The substrate for every sweep in :mod:`repro.experiments`: experiment
+modules describe their work as independent
+:class:`~repro.exec.cells.Cell` invocations and hand them to a
+:class:`~repro.exec.runner.SweepRunner`, which fans them out over
+worker processes and memoises results in a content-addressed on-disk
+:class:`~repro.exec.cache.ResultCache`.
+
+Guarantees (enforced by ``tests/test_exec_equivalence.py``):
+
+* ``jobs=N`` and ``jobs=1`` produce identical results — simulations
+  are seeded and deterministic, and nothing about process placement
+  leaks into a cell.
+* A cache hit replays the byte-identical pickled payload the original
+  run stored; editing any source file under ``repro`` changes the
+  cache salt and invalidates every entry.
+"""
+
+from repro.exec.cache import CacheEntry, CacheStats, ResultCache
+from repro.exec.cells import Cell, execute_cell
+from repro.exec.hashing import canonical, code_salt, fingerprint
+from repro.exec.progress import CellReport, ProgressPrinter
+from repro.exec.runner import ENV_JOBS, SweepRunner, resolve_jobs
+
+__all__ = [
+    "Cell",
+    "CellReport",
+    "CacheEntry",
+    "CacheStats",
+    "ENV_JOBS",
+    "ProgressPrinter",
+    "ResultCache",
+    "SweepRunner",
+    "canonical",
+    "code_salt",
+    "execute_cell",
+    "fingerprint",
+    "resolve_jobs",
+]

@@ -1,0 +1,154 @@
+"""Content-addressed on-disk cache for sweep-cell results.
+
+Entries live under ``.repro_cache/`` (override with the
+``REPRO_CACHE_DIR`` environment variable or the ``root`` argument),
+sharded by the first two hex digits of the key.  Each entry is a
+checksummed pickle: a corrupted, truncated or unreadable file is
+counted as an *invalidation* and treated as a miss — the sweep simply
+recomputes the cell and overwrites the bad entry.
+
+The cache is purely content-addressed: keys already encode the code
+version (see :func:`repro.exec.hashing.code_salt`), so there is no
+expiry logic; ``clear()`` (or ``make clean-cache``) drops everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+_MAGIC = b"REPROCACHE1\n"
+_DIGEST_BYTES = 32
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one sweep (or one cache lifetime)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: corrupted / truncated / unpicklable entries discarded as misses
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_line(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"stores={self.stores} invalidations={self.invalidations}"
+        )
+
+
+@dataclass
+class CacheEntry:
+    hit: bool
+    value: Any = None
+    #: raw pickled payload (byte-identical across replays of a key)
+    payload: Optional[bytes] = None
+
+
+@dataclass
+class ResultCache:
+    """Store/retrieve pickled results keyed by content hash."""
+
+    root: Path = field(default_factory=lambda: Path(
+        os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    ))
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> CacheEntry:
+        """Look up ``key``; corruption of any kind degrades to a miss."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return CacheEntry(hit=False)
+        payload = self._verify(raw)
+        if payload is None:
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return CacheEntry(hit=False)
+        try:
+            value = pickle.loads(payload)
+        except Exception:
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return CacheEntry(hit=False)
+        self.stats.hits += 1
+        return CacheEntry(hit=True, value=value, payload=payload)
+
+    def put(self, key: str, value: Any) -> bytes:
+        """Store ``value``; returns the pickled payload bytes."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).digest()
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # atomic publish: a crashed writer never leaves a short file
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_MAGIC)
+                handle.write(digest)
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return payload
+
+    @staticmethod
+    def _verify(raw: bytes) -> Optional[bytes]:
+        header = len(_MAGIC) + _DIGEST_BYTES
+        if len(raw) < header or not raw.startswith(_MAGIC):
+            return None
+        digest = raw[len(_MAGIC):header]
+        payload = raw[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        return payload
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.rglob("*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+__all__ = ["CacheStats", "CacheEntry", "ResultCache"]

@@ -1,0 +1,47 @@
+"""Sweep cells: one picklable, cacheable unit of experiment work.
+
+A :class:`Cell` names a module-level function plus keyword arguments.
+Both must pickle (the cell may cross a process boundary) and both feed
+the cache key: two cells with the same function and canonically-equal
+kwargs are the same computation, regardless of dict insertion order.
+
+Every experiment sweep in :mod:`repro.experiments` reduces to a list
+of cells handed to :class:`repro.exec.runner.SweepRunner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.exec.hashing import fingerprint
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One ``fn(**kwargs)`` invocation in a sweep."""
+
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: display label for progress reporting (defaults to the fn name)
+    label: str = ""
+
+    @property
+    def display(self) -> str:
+        return self.label or getattr(self.fn, "__qualname__", repr(self.fn))
+
+    def cache_key(self, salt: str) -> str:
+        """Content hash of (function identity, kwargs, code salt)."""
+        return fingerprint({
+            "fn": f"{self.fn.__module__}.{self.fn.__qualname__}",
+            "kwargs": dict(self.kwargs),
+            "salt": salt,
+        })
+
+
+def execute_cell(fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> Any:
+    """Worker entry point: must stay module-level so it pickles."""
+    return fn(**kwargs)
+
+
+__all__ = ["Cell", "execute_cell"]

@@ -1,0 +1,109 @@
+"""Stable content fingerprints for sweep-cell cache keys.
+
+A cache key must be a pure function of *what the cell computes*: the
+cell function's identity, its parameters (scenario spec, policy
+configuration, seed, simulation durations), and the version of the
+code that computes it.  :func:`fingerprint` canonicalises arbitrary
+parameter structures — dataclasses, enums, mappings with non-string
+keys, policies — into a deterministic JSON document and hashes it;
+:func:`code_salt` digests the ``repro`` package sources so editing the
+simulator invalidates every cached result.
+
+Unknown object kinds raise :class:`TypeError` instead of being
+silently coerced: a key that ignores part of a parameter would let two
+different computations collide in the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+#: bump to invalidate every existing cache entry on a format change
+CACHE_FORMAT_VERSION = 1
+
+_code_salt_cache: dict[str, str] = {}
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-serialisable structure.
+
+    Dicts become key-sorted pair lists (insertion order never leaks
+    into the key); dataclasses and plain objects carry their class
+    identity so two types with equal fields don't collide.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly; avoids 1.0 == 1 key merges
+        return ["float", repr(obj)]
+    if isinstance(obj, enum.Enum):
+        return ["enum", type(obj).__name__, obj.name]
+    if isinstance(obj, (bytes, bytearray)):
+        return ["bytes", hashlib.sha256(bytes(obj)).hexdigest()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return ["dataclass", _class_id(obj), canonical(fields)]
+    if isinstance(obj, dict):
+        pairs = [[canonical(k), canonical(v)] for k, v in obj.items()]
+        pairs.sort(key=lambda pair: json.dumps(pair[0], sort_keys=True))
+        return ["dict", pairs]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonical(item) for item in obj]]
+    if isinstance(obj, (set, frozenset)):
+        items = [canonical(item) for item in obj]
+        items.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        return ["set", items]
+    if hasattr(obj, "__dict__"):
+        # policies and other plain config objects: class + instance state
+        return ["object", _class_id(obj), canonical(vars(obj))]
+    raise TypeError(
+        f"cannot build a stable cache key from {type(obj).__qualname__}: "
+        "add a canonical() case or pass plain data"
+    )
+
+
+def _class_id(obj: Any) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``obj``."""
+    payload = json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def code_salt(package_root: Path | None = None) -> str:
+    """Digest of every ``.py`` file under the ``repro`` package.
+
+    Any source edit changes the salt and therefore every cache key —
+    stale results can never be replayed across code versions.  The walk
+    is done once per process and memoised.
+    """
+    if package_root is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+    cache_token = str(package_root)
+    cached = _code_salt_cache.get(cache_token)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(f"format:{CACHE_FORMAT_VERSION}".encode())
+    for source in sorted(package_root.rglob("*.py")):
+        digest.update(str(source.relative_to(package_root)).encode())
+        digest.update(source.read_bytes())
+    salt = digest.hexdigest()
+    _code_salt_cache[cache_token] = salt
+    return salt
+
+
+__all__ = ["CACHE_FORMAT_VERSION", "canonical", "fingerprint", "code_salt"]

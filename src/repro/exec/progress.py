@@ -1,0 +1,48 @@
+"""Per-cell progress reporting for long sweeps."""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, Optional, TextIO
+
+
+@dataclass(frozen=True)
+class CellReport:
+    """Emitted once per cell, as soon as its result is known."""
+
+    index: int  # position in the sweep (0-based)
+    total: int
+    label: str
+    outcome: str  # "hit" | "ran"
+    seconds: float  # compute time (0.0 for cache hits)
+    key: Optional[str] = None  # cache key, when caching is active
+
+
+#: signature of a progress hook
+ProgressHook = Callable[[CellReport], None]
+
+
+class ProgressPrinter:
+    """Default hook: one line per cell, timings included.
+
+    Writes to stderr by default so experiment tables on stdout stay
+    machine-comparable (parallel and serial runs print identical
+    stdout).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, report: CellReport) -> None:
+        width = len(str(report.total))
+        print(
+            f"[{report.index + 1:{width}d}/{report.total}] "
+            f"{report.outcome:<3s} {report.label} "
+            f"({report.seconds:.2f}s)",
+            file=self.stream,
+            flush=True,
+        )
+
+
+__all__ = ["CellReport", "ProgressHook", "ProgressPrinter"]

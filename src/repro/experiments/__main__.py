@@ -4,10 +4,19 @@ Regenerate any table/figure of the paper without the benchmark harness:
 
     python -m repro.experiments list
     python -m repro.experiments fig2 [--fast]
-    python -m repro.experiments all [--fast]
+    python -m repro.experiments all [--fast] --jobs 4
 
 ``--fast`` cuts simulation durations (~4x) for a quick look; the
 default durations match the benchmark suite.
+
+Sweep execution goes through :mod:`repro.exec`: ``--jobs N`` (or the
+``REPRO_JOBS`` environment variable) fans independent cells out over
+worker processes, and results are memoised under ``.repro_cache/`` so
+re-running a sweep replays cached cells instead of re-simulating.
+``--no-cache`` disables the cache, ``--cache-dir`` moves it.  Per-cell
+progress and the cache hit/miss summary go to stderr; stdout carries
+only the experiment tables, so serial, parallel and cached runs print
+byte-identical results.
 """
 
 from __future__ import annotations
@@ -15,31 +24,34 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.exec import ProgressPrinter, ResultCache, SweepRunner
 from repro.sim.units import MS, SEC
 
 
-def _fig2(fast: bool) -> str:
+def _fig2(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.fig2_calibration import render_fig2, run_fig2
 
     measure = 1 * SEC if fast else 3 * SEC
-    return render_fig2(run_fig2(warmup_ns=500 * MS, measure_ns=measure))
+    return render_fig2(
+        run_fig2(warmup_ns=500 * MS, measure_ns=measure, runner=runner)
+    )
 
 
-def _fig3(fast: bool) -> str:
+def _fig3(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.fig3_clustering import render_fig3, run_fig3
 
     return render_fig3(run_fig3())
 
 
-def _fig4(fast: bool) -> str:
+def _fig4(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.fig4_vtrs import render_fig4, run_fig4
 
     return render_fig4(run_fig4(periods=20 if fast else 50))
 
 
-def _fig5(fast: bool) -> str:
+def _fig5(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.fig5_validation import (
         FIG5_APPS,
         render_fig5,
@@ -49,35 +61,43 @@ def _fig5(fast: bool) -> str:
     apps = FIG5_APPS[:6] if fast else FIG5_APPS
     measure = 1 * SEC if fast else 2 * SEC
     return render_fig5(
-        run_fig5(apps=apps, warmup_ns=500 * MS, measure_ns=measure)
+        run_fig5(
+            apps=apps, warmup_ns=500 * MS, measure_ns=measure, runner=runner
+        )
     )
 
 
-def _fig6(fast: bool) -> str:
+def _fig6(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.fig6_effectiveness import render_fig6, run_fig6
 
     warmup = 1 * SEC if fast else 2 * SEC
     measure = 2 * SEC if fast else 4 * SEC
-    return render_fig6(run_fig6(warmup_ns=warmup, measure_ns=measure))
+    return render_fig6(
+        run_fig6(warmup_ns=warmup, measure_ns=measure, runner=runner)
+    )
 
 
-def _fig7(fast: bool) -> str:
+def _fig7(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.fig7_customization import render_fig7, run_fig7
 
     warmup = 1 * SEC if fast else 2 * SEC
     measure = 2 * SEC if fast else 4 * SEC
-    return render_fig7(run_fig7(warmup_ns=warmup, measure_ns=measure))
+    return render_fig7(
+        run_fig7(warmup_ns=warmup, measure_ns=measure, runner=runner)
+    )
 
 
-def _fig8(fast: bool) -> str:
+def _fig8(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.fig8_comparison import render_fig8, run_fig8
 
     warmup = 1 * SEC if fast else 2 * SEC
     measure = 2 * SEC if fast else 4 * SEC
-    return render_fig8(run_fig8(warmup_ns=warmup, measure_ns=measure))
+    return render_fig8(
+        run_fig8(warmup_ns=warmup, measure_ns=measure, runner=runner)
+    )
 
 
-def _table3(fast: bool) -> str:
+def _table3(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.table3_recognition import (
         render_table3,
         run_table3,
@@ -89,7 +109,7 @@ def _table3(fast: bool) -> str:
     return render_table3(run_table3(apps=apps, duration_ns=duration))
 
 
-def _overhead(fast: bool) -> str:
+def _overhead(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.overhead import (
         render_overhead,
         render_table6,
@@ -102,7 +122,7 @@ def _overhead(fast: bool) -> str:
     return text + "\n\n" + render_table6()
 
 
-def _sync(fast: bool) -> str:
+def _sync(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.sync_primitives import (
         render_sync_primitives,
         run_sync_primitives,
@@ -112,7 +132,7 @@ def _sync(fast: bool) -> str:
     return render_sync_primitives(run_sync_primitives(measure_ns=measure))
 
 
-def _window(fast: bool) -> str:
+def _window(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.window_sensitivity import (
         render_window_sensitivity,
         run_window_sensitivity,
@@ -121,11 +141,13 @@ def _window(fast: bool) -> str:
     warmup = 1 * SEC if fast else 2 * SEC
     measure = 2 * SEC if fast else 4 * SEC
     return render_window_sensitivity(
-        run_window_sensitivity(warmup_ns=warmup, measure_ns=measure)
+        run_window_sensitivity(
+            warmup_ns=warmup, measure_ns=measure, runner=runner
+        )
     )
 
 
-def _random(fast: bool) -> str:
+def _random(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.random_mixes import (
         render_random_mixes,
         run_random_mixes,
@@ -134,11 +156,11 @@ def _random(fast: bool) -> str:
     mixes = 3 if fast else 5
     measure = 2 * SEC if fast else 3 * SEC
     return render_random_mixes(
-        run_random_mixes(mixes=mixes, measure_ns=measure)
+        run_random_mixes(mixes=mixes, measure_ns=measure, runner=runner)
     )
 
 
-def _ablations(fast: bool) -> str:
+def _ablations(fast: bool, runner: Optional[SweepRunner]) -> str:
     from repro.experiments.ablations import (
         render_boost_ablation,
         render_lock_handoff_ablation,
@@ -150,16 +172,22 @@ def _ablations(fast: bool) -> str:
 
     measure = 1 * SEC if fast else 2 * SEC
     parts = [
-        render_boost_ablation(run_boost_ablation(measure_ns=measure)),
-        render_lock_handoff_ablation(
-            run_lock_handoff_ablation(measure_ns=measure)
+        render_boost_ablation(
+            run_boost_ablation(measure_ns=measure, runner=runner)
         ),
-        render_reuse_ablation(run_reuse_ablation(measure_ns=measure)),
+        render_lock_handoff_ablation(
+            run_lock_handoff_ablation(measure_ns=measure, runner=runner)
+        ),
+        render_reuse_ablation(
+            run_reuse_ablation(measure_ns=measure, runner=runner)
+        ),
     ]
     return "\n\n".join(parts)
 
 
-EXPERIMENTS: dict[str, tuple[str, Callable[[bool], str]]] = {
+EXPERIMENTS: dict[
+    str, tuple[str, Callable[[bool, Optional[SweepRunner]], str]]
+] = {
     "fig2": ("Fig. 2 — quantum calibration panels + lock inset", _fig2),
     "fig3": ("Fig. 3 — two-level clustering worked example", _fig3),
     "fig4": ("Fig. 4 — online vTRS in action", _fig4),
@@ -177,6 +205,18 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], str]]] = {
 }
 
 
+def build_runner(args: argparse.Namespace) -> SweepRunner:
+    """A SweepRunner from CLI flags (also the CI entry point's shape)."""
+    cache = None
+    if not args.no_cache:
+        cache = (
+            ResultCache(root=args.cache_dir) if args.cache_dir
+            else ResultCache()
+        )
+    progress = None if args.quiet else ProgressPrinter()
+    return SweepRunner(jobs=args.jobs, cache=cache, progress=progress)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -190,6 +230,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--fast", action="store_true", help="shorter simulations (~4x faster)"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep cells (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-simulate; do not read or write .repro_cache/",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache location (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-cell progress lines on stderr",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -197,13 +253,19 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:10s} {description}")
         return 0
 
+    try:
+        runner = build_runner(args)
+    except ValueError as exc:  # bad --jobs / REPRO_JOBS
+        parser.error(str(exc))
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        description, runner = EXPERIMENTS[name]
+        description, experiment = EXPERIMENTS[name]
         print(f"\n=== {name}: {description} ===")
         start = time.perf_counter()
-        print(runner(args.fast))
+        print(experiment(args.fast, runner))
         print(f"[{name} took {time.perf_counter() - start:.1f}s]")
+    if runner.cache is not None:
+        print(f"[cache] {runner.cache.stats.as_line()}", file=sys.stderr)
     return 0
 
 

@@ -21,6 +21,7 @@ Three studies beyond the paper's own ablation (Fig. 7):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.calibration import _build_calibration_machine
 from repro.hardware.specs import MachineSpec, i7_3770
@@ -32,6 +33,9 @@ from repro.workloads.io_workload import IoWorkload
 from repro.workloads.profiles import llcf_profile, llco_profile
 from repro.workloads.spin import SpinWorkload
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec import SweepRunner
+
 
 # ----------------------------------------------------------------------
 # BOOST ablation
@@ -42,40 +46,66 @@ class BoostAblation:
     latency: dict[tuple[bool, int], float] = field(default_factory=dict)
 
 
+def _boost_cell(
+    boost: bool, quantum_ms: int, spec: MachineSpec,
+    warmup_ns: int, measure_ns: int, seed: int,
+) -> float:
+    machine = Machine(
+        spec,
+        seed=seed,
+        default_quantum_ns=quantum_ms * MS,
+        boost_enabled=boost,
+    )
+    pool = machine.create_pool(
+        "p", machine.topology.pcpus[:1], quantum_ms * MS
+    )
+    vm = machine.new_vm("io", 1)
+    machine.default_pool.remove_vcpu(vm.vcpus[0])
+    pool.add_vcpu(vm.vcpus[0])
+    workload = IoWorkload.exclusive("io").install(machine, vm)
+    for i in range(3):
+        dvm = machine.new_vm(f"hog{i}", 1)
+        machine.default_pool.remove_vcpu(dvm.vcpus[0])
+        pool.add_vcpu(dvm.vcpus[0])
+        CpuBurnWorkload(f"h{i}", llco_profile(spec)).install(
+            machine, dvm
+        )
+    machine.run(warmup_ns)
+    workload.begin_measurement()
+    machine.run(measure_ns)
+    return workload.result().value
+
+
 def run_boost_ablation(
     quanta_ms: tuple[int, ...] = (1, 30, 90),
     warmup_ns: int = 500 * MS,
     measure_ns: int = 2 * SEC,
     seed: int = 3,
+    runner: Optional["SweepRunner"] = None,
 ) -> BoostAblation:
-    result = BoostAblation()
+    from repro.exec import Cell, SweepRunner
+
+    runner = runner or SweepRunner()
     spec = i7_3770()
-    for boost in (True, False):
-        for quantum_ms in quanta_ms:
-            machine = Machine(
-                spec,
-                seed=seed,
-                default_quantum_ns=quantum_ms * MS,
-                boost_enabled=boost,
-            )
-            pool = machine.create_pool(
-                "p", machine.topology.pcpus[:1], quantum_ms * MS
-            )
-            vm = machine.new_vm("io", 1)
-            machine.default_pool.remove_vcpu(vm.vcpus[0])
-            pool.add_vcpu(vm.vcpus[0])
-            workload = IoWorkload.exclusive("io").install(machine, vm)
-            for i in range(3):
-                dvm = machine.new_vm(f"hog{i}", 1)
-                machine.default_pool.remove_vcpu(dvm.vcpus[0])
-                pool.add_vcpu(dvm.vcpus[0])
-                CpuBurnWorkload(f"h{i}", llco_profile(spec)).install(
-                    machine, dvm
-                )
-            machine.run(warmup_ns)
-            workload.begin_measurement()
-            machine.run(measure_ns)
-            result.latency[(boost, quantum_ms)] = workload.result().value
+    grid = [
+        (boost, quantum_ms)
+        for boost in (True, False)
+        for quantum_ms in quanta_ms
+    ]
+    values = runner.run([
+        Cell(
+            _boost_cell,
+            dict(
+                boost=boost, quantum_ms=quantum_ms, spec=spec,
+                warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed,
+            ),
+            label=f"ablation:boost={boost}:{quantum_ms}ms",
+        )
+        for boost, quantum_ms in grid
+    ])
+    result = BoostAblation()
+    for cell_id, value in zip(grid, values):
+        result.latency[cell_id] = value
     return result
 
 
@@ -105,50 +135,74 @@ class LockHandoffAblation:
     lock_duration: dict[tuple[str, int], float] = field(default_factory=dict)
 
 
+def _lock_handoff_cell(
+    handoff: str, quantum_ms: int, spec: MachineSpec,
+    warmup_ns: int, measure_ns: int, seed: int,
+) -> tuple[float, float]:
+    machine = Machine(
+        spec, seed=seed, default_quantum_ns=quantum_ms * MS
+    )
+    pool = machine.create_pool(
+        "p", machine.topology.pcpus[:2], quantum_ms * MS
+    )
+    vm = machine.new_vm("spin", 4, weight=1024)
+    for vcpu in vm.vcpus:
+        machine.default_pool.remove_vcpu(vcpu)
+        pool.add_vcpu(vcpu)
+    workload = SpinWorkload(
+        "dense",
+        threads=4,
+        work_instructions=150_000.0,
+        cs_instructions=30_000.0,
+        use_barrier=False,
+        lock_handoff=handoff,
+    ).install(machine, vm)
+    for i in range(4):
+        dvm = machine.new_vm(f"hog{i}", 1)
+        machine.default_pool.remove_vcpu(dvm.vcpus[0])
+        pool.add_vcpu(dvm.vcpus[0])
+        CpuBurnWorkload(f"h{i}", llcf_profile(spec)).install(
+            machine, dvm
+        )
+    machine.run(warmup_ns)
+    workload.begin_measurement()
+    machine.run(measure_ns)
+    machine.sync()
+    perf = workload.result()
+    return perf.value, dict(perf.details)["mean_lock_duration_ns"]
+
+
 def run_lock_handoff_ablation(
     quanta_ms: tuple[int, ...] = (1, 30, 90),
     warmup_ns: int = 500 * MS,
     measure_ns: int = 2 * SEC,
     seed: int = 3,
+    runner: Optional["SweepRunner"] = None,
 ) -> LockHandoffAblation:
-    result = LockHandoffAblation()
+    from repro.exec import Cell, SweepRunner
+
+    runner = runner or SweepRunner()
     spec = i7_3770()
-    for handoff in ("hybrid", "fifo"):
-        for quantum_ms in quanta_ms:
-            machine = Machine(
-                spec, seed=seed, default_quantum_ns=quantum_ms * MS
-            )
-            pool = machine.create_pool(
-                "p", machine.topology.pcpus[:2], quantum_ms * MS
-            )
-            vm = machine.new_vm("spin", 4, weight=1024)
-            for vcpu in vm.vcpus:
-                machine.default_pool.remove_vcpu(vcpu)
-                pool.add_vcpu(vcpu)
-            workload = SpinWorkload(
-                "dense",
-                threads=4,
-                work_instructions=150_000.0,
-                cs_instructions=30_000.0,
-                use_barrier=False,
-                lock_handoff=handoff,
-            ).install(machine, vm)
-            for i in range(4):
-                dvm = machine.new_vm(f"hog{i}", 1)
-                machine.default_pool.remove_vcpu(dvm.vcpus[0])
-                pool.add_vcpu(dvm.vcpus[0])
-                CpuBurnWorkload(f"h{i}", llcf_profile(spec)).install(
-                    machine, dvm
-                )
-            machine.run(warmup_ns)
-            workload.begin_measurement()
-            machine.run(measure_ns)
-            machine.sync()
-            perf = workload.result()
-            result.ns_per_job[(handoff, quantum_ms)] = perf.value
-            result.lock_duration[(handoff, quantum_ms)] = dict(perf.details)[
-                "mean_lock_duration_ns"
-            ]
+    grid = [
+        (handoff, quantum_ms)
+        for handoff in ("hybrid", "fifo")
+        for quantum_ms in quanta_ms
+    ]
+    outcomes = runner.run([
+        Cell(
+            _lock_handoff_cell,
+            dict(
+                handoff=handoff, quantum_ms=quantum_ms, spec=spec,
+                warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed,
+            ),
+            label=f"ablation:lock-{handoff}:{quantum_ms}ms",
+        )
+        for handoff, quantum_ms in grid
+    ])
+    result = LockHandoffAblation()
+    for cell_id, (ns_per_job, lock_duration) in zip(grid, outcomes):
+        result.ns_per_job[cell_id] = ns_per_job
+        result.lock_duration[cell_id] = lock_duration
     return result
 
 
@@ -204,13 +258,34 @@ def run_reuse_ablation(
     warmup_ns: int = 500 * MS,
     measure_ns: int = 2 * SEC,
     seed: int = 3,
+    runner: Optional["SweepRunner"] = None,
 ) -> ReuseAblation:
-    result = ReuseAblation()
+    from repro.exec import Cell, SweepRunner
+
+    runner = runner or SweepRunner()
     spec = i7_3770()
+    grid = [
+        (exponent, quantum_ms)
+        for exponent in exponents
+        for quantum_ms in (1, 90)
+    ]
+    values = runner.run([
+        Cell(
+            _llcf_cell,
+            dict(
+                spec=spec, exponent=exponent, quantum_ms=quantum_ms,
+                warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed,
+            ),
+            label=f"ablation:reuse={exponent}:{quantum_ms}ms",
+        )
+        for exponent, quantum_ms in grid
+    ])
+    raw = dict(zip(grid, values))
+    result = ReuseAblation()
     for exponent in exponents:
-        at_1 = _llcf_cell(spec, exponent, 1, warmup_ns, measure_ns, seed)
-        at_90 = _llcf_cell(spec, exponent, 90, warmup_ns, measure_ns, seed)
-        result.quantum_sensitivity[exponent] = at_1 / at_90
+        result.quantum_sensitivity[exponent] = (
+            raw[(exponent, 1)] / raw[(exponent, 90)]
+        )
     return result
 
 

@@ -12,7 +12,7 @@ duration monotonically increasing with the quantum.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.calibration import (
     CALIBRATION_QUANTA_MS,
@@ -22,6 +22,9 @@ from repro.core.calibration import (
 from repro.hardware.specs import MachineSpec
 from repro.metrics.tables import ResultTable, format_quantum
 from repro.sim.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec import SweepRunner
 
 PANELS = (
     ("io_exclusive", "(a) Excl. IOInt"),
@@ -38,9 +41,11 @@ def run_fig2(
     warmup_ns: int = 1 * SEC,
     measure_ns: int = 3 * SEC,
     seed: int = 3,
+    runner: Optional["SweepRunner"] = None,
 ) -> CalibrationResult:
     return run_calibration(
-        spec=spec, warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed
+        spec=spec, warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed,
+        runner=runner,
     )
 
 

@@ -10,7 +10,10 @@ best performance at the quantum calibrated for its vTRS type.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec import SweepRunner
 
 from repro.core.calibration import PAPER_BEST_QUANTA
 from repro.core.types import VCpuType
@@ -114,15 +117,29 @@ def run_fig5(
     warmup_ns: int = 1 * SEC,
     measure_ns: int = 3 * SEC,
     seed: int = 7,
+    runner: Optional["SweepRunner"] = None,
 ) -> Fig5Result:
+    from repro.exec import Cell, SweepRunner
+
     spec = spec or i7_3770()
+    runner = runner or SweepRunner()
+    grid = [(app, quantum_ms) for app in apps for quantum_ms in QUANTA_MS]
+    values = runner.run([
+        Cell(
+            _measure_app,
+            dict(
+                app=app, quantum_ms=quantum_ms, spec=spec,
+                warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed,
+            ),
+            label=f"fig5:{app}:{quantum_ms}ms",
+        )
+        for app, quantum_ms in grid
+    ])
+    raw_by_app: dict[str, dict[int, float]] = {}
+    for (app, quantum_ms), value in zip(grid, values):
+        raw_by_app.setdefault(app, {})[quantum_ms] = value
     result = Fig5Result()
-    for app in apps:
-        raw: dict[int, float] = {}
-        for quantum_ms in QUANTA_MS:
-            raw[quantum_ms] = _measure_app(
-                app, quantum_ms, spec, warmup_ns, measure_ns, seed
-            )
+    for app, raw in raw_by_app.items():
         reference = raw[30]
         for quantum_ms, value in raw.items():
             result.normalized[(app, quantum_ms)] = value / reference

@@ -13,13 +13,20 @@ of LLCF performance is visible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.baselines import AqlPolicy, XenCredit
-from repro.experiments.runner import _placement_key, run_scenario
+from repro.experiments.runner import (
+    ScenarioRun,
+    _placement_key,
+    run_scenario,
+)
 from repro.experiments.scenarios import FIG3_POPULATION, SCENARIOS, Scenario
 from repro.metrics.tables import ResultTable
 from repro.sim.units import MS, SEC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec import SweepRunner
 
 
 @dataclass
@@ -39,20 +46,9 @@ class Fig6Result:
     multi_socket: Optional[ScenarioComparison] = None
 
 
-def compare_scenario(
-    scenario: Scenario,
-    warmup_ns: int = 2 * SEC,
-    measure_ns: int = 4 * SEC,
-    seed: int = 1,
+def _comparison_from_runs(
+    scenario: Scenario, xen: ScenarioRun, aql: ScenarioRun
 ) -> ScenarioComparison:
-    xen = run_scenario(
-        scenario, XenCredit(), warmup_ns=warmup_ns, measure_ns=measure_ns,
-        seed=seed,
-    )
-    aql = run_scenario(
-        scenario, AqlPolicy(), warmup_ns=warmup_ns, measure_ns=measure_ns,
-        seed=seed,
-    )
     comparison = ScenarioComparison(scenario=scenario.name)
     for key, xen_value in xen.by_placement.items():
         comparison.normalized[key] = aql.by_placement[key] / xen_value
@@ -67,33 +63,89 @@ def compare_scenario(
     return comparison
 
 
-def run_fig6_single(
-    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1
+def _scenario_cells(scenarios, warmup_ns, measure_ns, seed):
+    """Xen + AQL cells for each scenario, interleaved per scenario."""
+    from repro.exec import Cell
+
+    cells = []
+    for scenario in scenarios:
+        for policy in (XenCredit(), AqlPolicy()):
+            cells.append(Cell(
+                run_scenario,
+                dict(
+                    scenario=scenario, policy=policy, warmup_ns=warmup_ns,
+                    measure_ns=measure_ns, seed=seed,
+                ),
+                label=f"fig6:{scenario.name}:{policy.name}",
+            ))
+    return cells
+
+
+def _compare_all(
+    scenarios: list[Scenario],
+    warmup_ns: int,
+    measure_ns: int,
+    seed: int,
+    runner: Optional["SweepRunner"],
 ) -> dict[str, ScenarioComparison]:
+    from repro.exec import SweepRunner
+
+    runner = runner or SweepRunner()
+    runs = runner.run(_scenario_cells(scenarios, warmup_ns, measure_ns, seed))
     return {
-        name: compare_scenario(
-            SCENARIOS[name], warmup_ns=warmup_ns, measure_ns=measure_ns,
-            seed=seed,
+        scenario.name: _comparison_from_runs(
+            scenario, runs[2 * i], runs[2 * i + 1]
         )
-        for name in ("S1", "S2", "S3", "S4", "S5")
+        for i, scenario in enumerate(scenarios)
     }
 
 
+def compare_scenario(
+    scenario: Scenario,
+    warmup_ns: int = 2 * SEC,
+    measure_ns: int = 4 * SEC,
+    seed: int = 1,
+    runner: Optional["SweepRunner"] = None,
+) -> ScenarioComparison:
+    return _compare_all(
+        [scenario], warmup_ns, measure_ns, seed, runner
+    )[scenario.name]
+
+
+def run_fig6_single(
+    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1,
+    runner: Optional["SweepRunner"] = None,
+) -> dict[str, ScenarioComparison]:
+    scenarios = [SCENARIOS[name] for name in ("S1", "S2", "S3", "S4", "S5")]
+    return _compare_all(scenarios, warmup_ns, measure_ns, seed, runner)
+
+
 def run_fig6_multi(
-    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1
+    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1,
+    runner: Optional["SweepRunner"] = None,
 ) -> ScenarioComparison:
     return compare_scenario(
-        FIG3_POPULATION, warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed
+        FIG3_POPULATION, warmup_ns=warmup_ns, measure_ns=measure_ns,
+        seed=seed, runner=runner,
     )
 
 
 def run_fig6(
-    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1
+    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1,
+    runner: Optional["SweepRunner"] = None,
 ) -> Fig6Result:
-    return Fig6Result(
-        single_socket=run_fig6_single(warmup_ns, measure_ns, seed),
-        multi_socket=run_fig6_multi(warmup_ns, measure_ns, seed),
-    )
+    # one sweep over all 12 runs (5 single-socket + the multi-socket
+    # population, each under Xen and AQL) so a parallel runner can
+    # overlap everything
+    from repro.exec import SweepRunner
+
+    runner = runner or SweepRunner()
+    scenarios = [
+        SCENARIOS[name] for name in ("S1", "S2", "S3", "S4", "S5")
+    ] + [FIG3_POPULATION]
+    comparisons = _compare_all(scenarios, warmup_ns, measure_ns, seed, runner)
+    multi = comparisons.pop(FIG3_POPULATION.name)
+    return Fig6Result(single_socket=comparisons, multi_socket=multi)
 
 
 def render_fig6(result: Fig6Result) -> str:

@@ -12,12 +12,16 @@ comes close except for LLCF).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.baselines import AqlPolicy
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import FIG3_POPULATION
 from repro.metrics.tables import ResultTable
 from repro.sim.units import MS, SEC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec import SweepRunner
 
 UNIFORM_QUANTA_MS = {"small": 1, "medium": 30, "large": 90}
 
@@ -29,22 +33,32 @@ class Fig7Result:
 
 
 def run_fig7(
-    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1
+    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1,
+    runner: Optional["SweepRunner"] = None,
 ) -> Fig7Result:
+    from repro.exec import Cell, SweepRunner
+
+    runner = runner or SweepRunner()
     scenario = FIG3_POPULATION
-    full = run_scenario(
-        scenario, AqlPolicy(), warmup_ns=warmup_ns, measure_ns=measure_ns,
-        seed=seed,
-    )
-    result = Fig7Result()
-    for label, quantum_ms in UNIFORM_QUANTA_MS.items():
-        uniform = run_scenario(
-            scenario,
-            AqlPolicy(uniform_quantum_ns=quantum_ms * MS),
-            warmup_ns=warmup_ns,
-            measure_ns=measure_ns,
-            seed=seed,
+    labels = list(UNIFORM_QUANTA_MS)
+    policies = [AqlPolicy()] + [
+        AqlPolicy(uniform_quantum_ns=UNIFORM_QUANTA_MS[label] * MS)
+        for label in labels
+    ]
+    runs = runner.run([
+        Cell(
+            run_scenario,
+            dict(
+                scenario=scenario, policy=policy, warmup_ns=warmup_ns,
+                measure_ns=measure_ns, seed=seed,
+            ),
+            label=f"fig7:{policy.name}",
         )
+        for policy in policies
+    ])
+    full, uniforms = runs[0], runs[1:]
+    result = Fig7Result()
+    for label, uniform in zip(labels, uniforms):
         result.normalized[label] = {
             key: uniform.by_placement[key] / full.by_placement[key]
             for key in full.by_placement

@@ -9,12 +9,16 @@ comparator on every application type.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.baselines import AqlPolicy, Microsliced, VSlicer, VTurbo, XenCredit
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import SCENARIOS
 from repro.metrics.tables import ResultTable
 from repro.sim.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec import SweepRunner
 
 
 @dataclass
@@ -24,19 +28,28 @@ class Fig8Result:
 
 
 def run_fig8(
-    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1
+    warmup_ns: int = 2 * SEC, measure_ns: int = 4 * SEC, seed: int = 1,
+    runner: Optional["SweepRunner"] = None,
 ) -> Fig8Result:
+    from repro.exec import Cell, SweepRunner
+
+    runner = runner or SweepRunner()
     scenario = SCENARIOS["S5"]
-    xen = run_scenario(
-        scenario, XenCredit(), warmup_ns=warmup_ns, measure_ns=measure_ns,
-        seed=seed,
-    )
-    result = Fig8Result()
-    for policy in (VTurbo(), Microsliced(), VSlicer(), AqlPolicy()):
-        run = run_scenario(
-            scenario, policy, warmup_ns=warmup_ns, measure_ns=measure_ns,
-            seed=seed,
+    policies = [XenCredit(), VTurbo(), Microsliced(), VSlicer(), AqlPolicy()]
+    runs = runner.run([
+        Cell(
+            run_scenario,
+            dict(
+                scenario=scenario, policy=policy, warmup_ns=warmup_ns,
+                measure_ns=measure_ns, seed=seed,
+            ),
+            label=f"fig8:{policy.name}",
         )
+        for policy in policies
+    ])
+    xen, comparator_runs = runs[0], runs[1:]
+    result = Fig8Result()
+    for policy, run in zip(policies[1:], comparator_runs):
         result.normalized[policy.name] = {
             key: run.by_placement[key] / xen.by_placement[key]
             for key in xen.by_placement

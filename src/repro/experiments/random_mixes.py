@@ -12,8 +12,12 @@ latency/spin classes win wherever they appear.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec import SweepRunner
 
 from repro.baselines import AqlPolicy, XenCredit
 from repro.core.types import VCpuType
@@ -87,20 +91,30 @@ def run_random_mixes(
     warmup_ns: int = 2 * SEC,
     measure_ns: int = 3 * SEC,
     seed: int = 17,
+    runner: Optional["SweepRunner"] = None,
 ) -> RandomMixResult:
+    from repro.exec import Cell, SweepRunner
+
+    runner = runner or SweepRunner()
+    # drawing the mixes is cheap and sequential (each draw advances the
+    # rng); only the simulations fan out
     rng = np.random.default_rng(seed)
+    scenarios = [draw_mix(rng) for _ in range(mixes)]
+    cells = []
+    for mix_index, scenario in enumerate(scenarios):
+        for policy in (XenCredit(), AqlPolicy()):
+            cells.append(Cell(
+                run_scenario,
+                dict(
+                    scenario=scenario, policy=policy, warmup_ns=warmup_ns,
+                    measure_ns=measure_ns, seed=seed + mix_index,
+                ),
+                label=f"random:mix{mix_index}:{policy.name}",
+            ))
+    runs = runner.run(cells)
     result = RandomMixResult()
-    for mix_index in range(mixes):
-        scenario = draw_mix(rng)
-        run_seed = seed + mix_index
-        xen = run_scenario(
-            scenario, XenCredit(), warmup_ns=warmup_ns,
-            measure_ns=measure_ns, seed=run_seed,
-        )
-        aql = run_scenario(
-            scenario, AqlPolicy(), warmup_ns=warmup_ns,
-            measure_ns=measure_ns, seed=run_seed,
-        )
+    for mix_index, scenario in enumerate(scenarios):
+        xen, aql = runs[2 * mix_index], runs[2 * mix_index + 1]
         normalized = {
             key: aql.by_placement[key] / xen.by_placement[key]
             for key in xen.by_placement

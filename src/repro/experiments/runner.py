@@ -31,10 +31,22 @@ class ScenarioRun:
     by_placement: dict[str, float] = field(default_factory=dict)
     detected_types: dict[int, VCpuType] = field(default_factory=dict)
     pool_layout: list[tuple[str, int, int, int]] = field(default_factory=list)
+    #: the live machine when run with ``keep_built=True``; never
+    #: serialized — a built scenario holds the whole simulator graph
+    #: (RNG state, event queue, guest threads), which neither pickles
+    #: nor belongs in a result cache
     built: Optional[BuiltScenario] = None
 
     def placement_value(self, key: str) -> float:
         return self.by_placement[key]
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["built"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
 
 def _placement_key(result_name: str) -> str:

@@ -16,11 +16,15 @@ at least as well as n = 1 while migrating far less.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
-from repro.baselines import AqlPolicy, XenCredit
+from repro.baselines import AqlPolicy, Policy, XenCredit
 from repro.experiments.scenarios import SCENARIOS
 from repro.metrics.tables import ResultTable
 from repro.sim.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec import SweepRunner
 
 WINDOWS = (1, 2, 4, 8)
 
@@ -39,8 +43,15 @@ class WindowSensitivityResult:
         return sum(values.values()) / len(values)
 
 
-def _run_once(policy, warmup_ns, measure_ns, seed):
-    """S5 plus one phase-shifting VM (the type-flapping stressor)."""
+def _window_cell(
+    policy: Policy, warmup_ns: int, measure_ns: int, seed: int
+) -> dict:
+    """S5 plus one phase-shifting VM (the type-flapping stressor).
+
+    Returns plain data (perf + churn counters) so the cell can cross a
+    process boundary and live in the result cache.
+    """
+    from repro.experiments.runner import _placement_key
     from repro.experiments.scenarios import build_scenario
     from repro.workloads.phased import BehaviourPhase, PhasedWorkload
 
@@ -66,17 +77,23 @@ def _run_once(policy, warmup_ns, measure_ns, seed):
         workload.begin_measurement()
     machine.run(measure_ns)
     machine.sync()
-    by_placement: dict[str, float] = {}
     groups: dict[str, list[float]] = {}
-    from repro.experiments.runner import _placement_key
-
     for name, workload in built.workloads.items():
         groups.setdefault(_placement_key(name), []).append(
             workload.result().value
         )
-    for key, values in groups.items():
-        by_placement[key] = sum(values) / len(values)
-    return built, by_placement
+    manager = getattr(policy, "manager", None)
+    return {
+        "by_placement": {
+            key: sum(values) / len(values) for key, values in groups.items()
+        },
+        "reconfigurations": (
+            manager.reconfigurations if manager is not None else 0
+        ),
+        "migrations": sum(
+            vcpu.migrations for vcpu in machine.all_vcpus
+        ),
+    }
 
 
 def run_window_sensitivity(
@@ -84,20 +101,35 @@ def run_window_sensitivity(
     warmup_ns: int = 2 * SEC,
     measure_ns: int = 4 * SEC,
     seed: int = 1,
+    runner: Optional["SweepRunner"] = None,
 ) -> WindowSensitivityResult:
-    _, xen = _run_once(XenCredit(), warmup_ns, measure_ns, seed)
+    from repro.exec import Cell, SweepRunner
+
+    runner = runner or SweepRunner()
+    policies: list[Policy] = [XenCredit()]
+    policies += [AqlPolicy(window=n) for n in windows]
+    labels = ["window:xen"] + [f"window:n={n}" for n in windows]
+    cells = [
+        Cell(
+            _window_cell,
+            dict(
+                policy=policy, warmup_ns=warmup_ns, measure_ns=measure_ns,
+                seed=seed,
+            ),
+            label=label,
+        )
+        for policy, label in zip(policies, labels)
+    ]
+    outcomes = runner.run(cells)
+    xen = outcomes[0]["by_placement"]
     result = WindowSensitivityResult()
-    for n in windows:
-        policy = AqlPolicy(window=n)
-        built, by_placement = _run_once(policy, warmup_ns, measure_ns, seed)
+    for n, outcome in zip(windows, outcomes[1:]):
+        by_placement = outcome["by_placement"]
         result.normalized[n] = {
             key: by_placement[key] / xen[key] for key in xen
         }
-        assert policy.manager is not None
-        result.reconfigurations[n] = policy.manager.reconfigurations
-        result.migrations[n] = sum(
-            vcpu.migrations for vcpu in built.machine.all_vcpus
-        )
+        result.reconfigurations[n] = outcome["reconfigurations"]
+        result.migrations[n] = outcome["migrations"]
     return result
 
 

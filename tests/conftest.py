@@ -5,9 +5,29 @@ property tests express *universal* invariants (occupancy conservation,
 cursor ranges, clustering fairness, scheduler structure), so a failing
 example is always a real bug worth a stable reproduction, never
 test-run noise.
+
+``--update-golden`` rewrites the committed numeric snapshots under
+``tests/golden/`` from the current simulator output (see
+``tests/test_golden_shapes.py``); without it, the golden tests compare
+against the committed values.
 """
 
+import pytest
 from hypothesis import settings
 
 settings.register_profile("repro", deadline=None, derandomize=True)
 settings.load_profile("repro")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current simulator output",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")

@@ -1,0 +1,164 @@
+"""Equivalence properties of the parallel sweep engine.
+
+DESIGN.md §7 claims seeded simulations are deterministic; this file
+enforces the claim *across process boundaries*: a sweep run with 4
+worker processes is identical to the serial run, and a cache hit
+replays byte-identical results.  These guarantees are what make
+``repro.exec`` safe to use for every paper figure.
+"""
+
+import pickle
+
+import pytest
+
+from repro.baselines import AqlPolicy, XenCredit
+from repro.exec import Cell, ResultCache, SweepRunner, resolve_jobs
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import AppPlacement, Scenario
+from repro.sim.units import MS
+
+#: a grid of small scenarios — one IO+CPU mix, one spin+CPU mix —
+#: covering multi-vCPU VMs, per-unit VMs and both policy kinds
+GRID_SCENARIOS = (
+    Scenario(
+        "tiny-io",
+        (AppPlacement("specweb2009", 2), AppPlacement("bzip2", 2)),
+        pcpus=2,
+    ),
+    Scenario(
+        "tiny-spin",
+        (AppPlacement("facesim", 4), AppPlacement("hmmer", 2)),
+        pcpus=2,
+    ),
+)
+
+WARMUP_NS = 50 * MS
+MEASURE_NS = 150 * MS
+
+
+def grid_cells():
+    return [
+        Cell(
+            run_scenario,
+            dict(
+                scenario=scenario, policy=policy, warmup_ns=WARMUP_NS,
+                measure_ns=MEASURE_NS, seed=5,
+            ),
+            label=f"{scenario.name}:{policy.name}",
+        )
+        for scenario in GRID_SCENARIOS
+        for policy in (XenCredit(), AqlPolicy())
+    ]
+
+
+class TestParallelSerialEquivalence:
+    def test_jobs4_identical_to_jobs1(self):
+        serial = SweepRunner(jobs=1).run(grid_cells())
+        parallel = SweepRunner(jobs=4).run(grid_cells())
+        assert len(serial) == len(parallel) == 4
+        for ours, theirs in zip(serial, parallel):
+            assert ours.scenario == theirs.scenario
+            assert ours.policy == theirs.policy
+            # exact float equality: determinism, not tolerance
+            assert ours.by_placement == theirs.by_placement
+            assert ours.detected_types == theirs.detected_types
+            assert ours.results == theirs.results
+            assert ours.pool_layout == theirs.pool_layout
+
+    def test_progress_reports_every_cell(self):
+        reports = []
+        SweepRunner(jobs=4, progress=reports.append).run(grid_cells())
+        assert sorted(r.index for r in reports) == [0, 1, 2, 3]
+        assert {r.outcome for r in reports} == {"ran"}
+        assert all(r.total == 4 for r in reports)
+
+
+class TestCacheReplay:
+    def test_cache_hit_replays_byte_identical(self, tmp_path):
+        cold_cache = ResultCache(root=tmp_path)
+        cold_runner = SweepRunner(jobs=1, cache=cold_cache)
+        cold = cold_runner.run(grid_cells())
+        assert cold_cache.stats.misses == 4
+        assert cold_cache.stats.hits == 0
+
+        warm_cache = ResultCache(root=tmp_path)
+        warm_runner = SweepRunner(jobs=1, cache=warm_cache)
+        warm = warm_runner.run(grid_cells())
+        assert warm_cache.stats.hits == 4
+        assert warm_cache.stats.misses == 0
+
+        for cell, original, replayed in zip(grid_cells(), cold, warm):
+            key = cell.cache_key(cold_runner.salt)
+            payload = warm_cache.get(key).payload
+            # the stored payload is exactly the original run's pickle
+            assert payload == pickle.dumps(
+                original, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            assert replayed.by_placement == original.by_placement
+            assert replayed.detected_types == original.detected_types
+            assert replayed.results == original.results
+
+    def test_mixed_warm_cold_sweep(self, tmp_path):
+        cells = grid_cells()
+        warm_half = SweepRunner(jobs=1, cache=ResultCache(root=tmp_path))
+        first_two = warm_half.run(cells[:2])
+
+        cache = ResultCache(root=tmp_path)
+        full = SweepRunner(jobs=4, cache=cache).run(cells)
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 2
+        baseline = SweepRunner(jobs=1).run(cells)
+        for ours, theirs in zip(full, baseline):
+            assert ours.by_placement == theirs.by_placement
+        for cached, live in zip(first_two, full[:2]):
+            assert cached.by_placement == live.by_placement
+
+    def test_hit_outcomes_reported(self, tmp_path):
+        cells = grid_cells()[:2]
+        SweepRunner(jobs=1, cache=ResultCache(root=tmp_path)).run(cells)
+        reports = []
+        SweepRunner(
+            jobs=1, cache=ResultCache(root=tmp_path),
+            progress=reports.append,
+        ).run(cells)
+        assert [r.outcome for r in reports] == ["hit", "hit"]
+        assert all(r.key is not None for r in reports)
+
+
+class TestScenarioRunPickling:
+    def test_keep_built_run_round_trips(self):
+        run = run_scenario(
+            GRID_SCENARIOS[0], XenCredit(),
+            warmup_ns=WARMUP_NS, measure_ns=MEASURE_NS, seed=5,
+            keep_built=True,
+        )
+        assert run.built is not None  # the live machine is available...
+        thawed = pickle.loads(pickle.dumps(run))
+        assert thawed.built is None  # ...but never crosses serialization
+        assert thawed.by_placement == run.by_placement
+        assert thawed.results == run.results
+        assert thawed.detected_types == run.detected_types
+        assert thawed.pool_layout == run.pool_layout
+        # the original object still holds its machine after pickling
+        assert run.built is not None
+
+
+class TestJobsResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(2) == 2
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+        with pytest.raises(ValueError):
+            resolve_jobs(0)

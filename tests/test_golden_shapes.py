@@ -1,0 +1,175 @@
+"""Golden regression snapshots of the paper's headline curve shapes.
+
+The committed JSON files under ``tests/golden/`` pin the numeric
+output of the shape-critical experiments — Fig. 2b (heterogeneous-IO
+latency monotone in quantum), Fig. 2d (LLCF ordering: the 90 ms
+quantum wins), and S1–S5 (AQL_Sched at least as good as Xen).  A
+future perf PR that silently bends these curves fails here; if the
+shift is intentional, regenerate the snapshots with
+
+    pytest tests/test_golden_shapes.py --update-golden
+
+Each file carries its own relative tolerance; the qualitative shape
+assertions are unconditional (no tolerance can excuse a reversed
+ordering).
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import AqlPolicy, XenCredit
+from repro.core.calibration import measure_calibration_cell
+from repro.exec import Cell, SweepRunner
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import SCENARIOS
+from repro.hardware.specs import i7_3770
+from repro.sim.units import MS
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+FIG2_QUANTA = (1, 30, 90)
+SCENARIO_NAMES = ("S1", "S2", "S3", "S4", "S5")
+
+
+def _compute_fig2_shapes() -> dict:
+    """Normalised (30 ms = 1.0) series for the two shape-bearing panels."""
+    kinds = ("io_hetero", "llcf")
+    cells = [
+        Cell(
+            measure_calibration_cell,
+            dict(
+                kind=kind, quantum_ms=quantum_ms, vcpus_per_pcpu=4,
+                spec=i7_3770(), warmup_ns=500 * MS, measure_ns=1500 * MS,
+                seed=3,
+            ),
+            label=f"golden:{kind}:{quantum_ms}ms",
+        )
+        for kind in kinds
+        for quantum_ms in FIG2_QUANTA
+    ]
+    values = SweepRunner().run(cells)
+    raw = {
+        (kind, quantum_ms): value
+        for (kind, quantum_ms), value in zip(
+            [(k, q) for k in kinds for q in FIG2_QUANTA], values
+        )
+    }
+    return {
+        kind: {
+            str(q): raw[(kind, q)] / raw[(kind, 30)] for q in FIG2_QUANTA
+        }
+        for kind in kinds
+    }
+
+
+def _compute_scenario_shapes() -> dict:
+    """Per-placement AQL/Xen normalised values for S1–S5."""
+    cells = [
+        Cell(
+            run_scenario,
+            dict(
+                scenario=SCENARIOS[name], policy=policy,
+                warmup_ns=1000 * MS, measure_ns=1500 * MS, seed=1,
+            ),
+            label=f"golden:{name}:{policy.name}",
+        )
+        for name in SCENARIO_NAMES
+        for policy in (XenCredit(), AqlPolicy())
+    ]
+    runs = SweepRunner().run(cells)
+    shapes = {}
+    for i, name in enumerate(SCENARIO_NAMES):
+        xen, aql = runs[2 * i], runs[2 * i + 1]
+        normalized = {
+            key: aql.by_placement[key] / xen.by_placement[key]
+            for key in sorted(xen.by_placement)
+        }
+        shapes[name] = {
+            "normalized": normalized,
+            "mean": sum(normalized.values()) / len(normalized),
+        }
+    return shapes
+
+
+def _check_or_update(
+    path: Path, computed: dict, tolerance: float, update: bool
+) -> dict:
+    if update:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {"tolerance": tolerance, "values": computed},
+            indent=2, sort_keys=True,
+        ) + "\n")
+        return {"tolerance": tolerance, "values": computed}
+    if not path.exists():
+        pytest.fail(
+            f"golden snapshot {path} missing — run "
+            "`pytest tests/test_golden_shapes.py --update-golden`"
+        )
+    return json.loads(path.read_text())
+
+
+def _assert_close(golden, computed, tolerance, trail=""):
+    """Recursively compare numeric leaves within relative tolerance."""
+    if isinstance(golden, dict):
+        assert isinstance(computed, dict) and set(golden) == set(computed), (
+            f"golden structure changed at {trail or 'root'}: "
+            f"{sorted(golden)} vs {sorted(computed)}"
+        )
+        for key in golden:
+            _assert_close(
+                golden[key], computed[key], tolerance, f"{trail}/{key}"
+            )
+        return
+    assert math.isclose(computed, golden, rel_tol=tolerance), (
+        f"{trail}: {computed:.4f} drifted from golden {golden:.4f} "
+        f"(tolerance {tolerance:.0%}) — if intentional, rerun with "
+        "--update-golden"
+    )
+
+
+class TestFig2GoldenShapes:
+    @pytest.fixture(scope="class")
+    def computed(self):
+        return _compute_fig2_shapes()
+
+    def test_matches_snapshot(self, computed, update_golden):
+        golden = _check_or_update(
+            GOLDEN_DIR / "fig2_shapes.json", computed,
+            tolerance=0.15, update=update_golden,
+        )
+        _assert_close(golden["values"], computed, golden["tolerance"])
+
+    def test_io_hetero_latency_monotone_in_quantum(self, computed):
+        # Fig. 2b: heterogeneous-IO latency only degrades as the
+        # quantum grows — no tolerance can excuse a reversal
+        series = computed["io_hetero"]
+        assert series["1"] < series["30"] <= series["90"] * 1.02
+
+    def test_llcf_ordering(self, computed):
+        # Fig. 2d: LLCF wants the big quantum (90 < 30 < 1)
+        series = computed["llcf"]
+        assert series["90"] < series["30"] < series["1"]
+
+
+class TestScenarioGoldenShapes:
+    @pytest.fixture(scope="class")
+    def computed(self):
+        return _compute_scenario_shapes()
+
+    def test_matches_snapshot(self, computed, update_golden):
+        golden = _check_or_update(
+            GOLDEN_DIR / "scenarios_aql_vs_xen.json", computed,
+            tolerance=0.12, update=update_golden,
+        )
+        _assert_close(golden["values"], computed, golden["tolerance"])
+
+    def test_aql_never_loses_to_xen_on_average(self, computed):
+        # the paper's S1–S5 claim: AQL_Sched >= Xen per scenario
+        for name in SCENARIO_NAMES:
+            assert computed[name]["mean"] <= 1.02, (
+                f"{name}: AQL mean {computed[name]['mean']:.3f} lost to Xen"
+            )
