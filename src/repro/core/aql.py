@@ -14,6 +14,7 @@ penalty the LLC model already charges.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from repro.core.calibration import PAPER_BEST_QUANTA
@@ -42,6 +43,24 @@ def _plan_signature(plan: PoolPlan) -> tuple:
             )
         )
     return tuple(sorted(entries))
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One :meth:`AqlScheduler.decide` outcome, kept for adaptation metrics.
+
+    ``types`` is the sorted ``(vcpu_id, type-name)`` snapshot the
+    decision acted on — empty while the initial delay is still sitting
+    out.  The dynamics layer reads these to measure detection latency
+    (first decision whose typing reflects a churn event) and
+    convergence (last decision in a window that changed the plan).
+    """
+
+    time_ns: int
+    decision_index: int
+    changed: bool
+    migrations_total: int
+    types: tuple[tuple[int, str], ...]
 
 
 class AqlScheduler:
@@ -91,6 +110,9 @@ class AqlScheduler:
         self.decisions = 0
         self.reconfigurations = 0
         self.last_types: dict[int, VCpuType] = {}
+        #: every decision ever taken, in order (adaptation metrics
+        #: slice this around churn events)
+        self.decision_log: list[DecisionRecord] = []
         self._last_signature: Optional[tuple] = None
         self._attached = False
 
@@ -128,6 +150,15 @@ class AqlScheduler:
         """Re-type, re-cluster, apply the plan if the layout changed."""
         self.decisions += 1
         if self.decisions <= self.initial_delay_windows:
+            self.decision_log.append(
+                DecisionRecord(
+                    time_ns=self.machine.sim.now,
+                    decision_index=self.decisions,
+                    changed=False,
+                    migrations_total=self.machine.migrations_total,
+                    types=(),
+                )
+            )
             return  # cold-start transient: counters not yet meaningful
         types = self.current_types()
         typed = [
@@ -146,6 +177,7 @@ class AqlScheduler:
             self.default_quantum_ns,
             sockets=self.sockets,
             pcpus=self.pcpus,
+            offline=self.machine.offline_pcpus,
         )
         if self.uniform_quantum_ns is not None:
             plan.entries = [
@@ -153,10 +185,24 @@ class AqlScheduler:
                 for name, pcpus, _, vcpus in plan.entries
             ]
         signature = _plan_signature(plan)
-        if signature != self._last_signature:
+        changed = signature != self._last_signature
+        if changed:
             self.machine.apply_pool_plan(plan)
             self._last_signature = signature
             self.reconfigurations += 1
+        self.decision_log.append(
+            DecisionRecord(
+                time_ns=self.machine.sim.now,
+                decision_index=self.decisions,
+                changed=changed,
+                migrations_total=self.machine.migrations_total,
+                types=tuple(
+                    sorted(
+                        (vid, t.name) for vid, t in self.last_types.items()
+                    )
+                ),
+            )
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -165,4 +211,4 @@ class AqlScheduler:
         )
 
 
-__all__ = ["AqlScheduler"]
+__all__ = ["AqlScheduler", "DecisionRecord"]

@@ -27,7 +27,7 @@ pCPU and every vCPU to a pool with a quantum.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 from repro.core.types import VCpuType
 from repro.hypervisor.pools import PoolPlan
@@ -260,6 +260,7 @@ def build_pool_plan(
     sockets: Optional[Sequence["Socket"]] = None,
     pcpus: Optional[Sequence] = None,
     filler_policy: str = "safe",
+    offline: Optional[Iterable] = None,
 ) -> PoolPlan:
     """Run both levels and emit a machine-wide pool plan.
 
@@ -269,9 +270,26 @@ def build_pool_plan(
     ratio matters because clustering onto *more* cores than the vCPUs
     were confined to raises LLC concurrency.  Unlisted sockets/cores
     get reserved default pools so the plan still covers every pCPU.
+    ``offline`` cores (fault injection) are outside the plan entirely:
+    never clustered, never reserved — the machine validates plans
+    against its online set only.
     """
+    dark = set(offline) if offline else set()
     usable = list(sockets) if sockets is not None else list(topology.sockets)
     allowed = set(pcpus) if pcpus is not None else None
+    if dark:
+        # a socket whose every schedulable core failed can't host
+        # anyone; drop it so distribution targets live sockets only
+        usable = [
+            s
+            for s in usable
+            if any(
+                p not in dark and (allowed is None or p in allowed)
+                for p in s.pcpus
+            )
+        ]
+        if not usable:
+            raise ValueError("every schedulable pCPU is offline")
     assignment = distribute_over_sockets(typed, usable)
     plan = PoolPlan()
     counter = 0
@@ -279,10 +297,14 @@ def build_pool_plan(
     for socket in usable:
         members = assignment[socket.socket_id]
         socket_pcpus = [
-            p for p in socket.pcpus if allowed is None or p in allowed
+            p
+            for p in socket.pcpus
+            if p not in dark and (allowed is None or p in allowed)
         ]
         reserved.extend(
-            p for p in socket.pcpus if allowed is not None and p not in allowed
+            p
+            for p in socket.pcpus
+            if p not in dark and allowed is not None and p not in allowed
         )
         socket_result = cluster_socket(
             members,
@@ -297,7 +319,7 @@ def build_pool_plan(
             plan.add(label, cluster_pcpus, quantum, [tv.vcpu for tv in vcpus])
     unused = [s for s in topology.sockets if s not in usable]
     for socket in unused:
-        reserved.extend(socket.pcpus)
+        reserved.extend(p for p in socket.pcpus if p not in dark)
     if reserved:
         counter += 1
         plan.add("reserved", reserved, default_quantum_ns, [])

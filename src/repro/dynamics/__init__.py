@@ -1,0 +1,47 @@
+"""repro.dynamics — the churn engine.
+
+Everything the static scenarios lack: VM arrival and departure,
+mid-run phase changes, IO load spikes and pCPU fault injection, all
+declared as a :class:`~repro.dynamics.events.ChurnTimeline` and
+injected into a running :class:`~repro.hypervisor.machine.Machine` by
+the :class:`~repro.dynamics.engine.ChurnEngine`.  The
+:mod:`~repro.dynamics.adaptation` layer measures how fast AQL_Sched
+notices and re-converges after each event.
+"""
+
+from repro.dynamics.adaptation import (
+    AdaptationRecord,
+    AdaptationTracker,
+    build_records,
+)
+from repro.dynamics.engine import AppliedEvent, ChurnEngine
+from repro.dynamics.events import (
+    ChurnEvent,
+    ChurnTimeline,
+    LoadSpike,
+    PcpuOffline,
+    PcpuOnline,
+    PhaseChange,
+    VmBoot,
+    VmShutdown,
+    random_timeline,
+)
+from repro.dynamics.workload import SwitchableWorkload
+
+__all__ = [
+    "AdaptationRecord",
+    "AdaptationTracker",
+    "AppliedEvent",
+    "ChurnEngine",
+    "ChurnEvent",
+    "ChurnTimeline",
+    "LoadSpike",
+    "PcpuOffline",
+    "PcpuOnline",
+    "PhaseChange",
+    "SwitchableWorkload",
+    "VmBoot",
+    "VmShutdown",
+    "build_records",
+    "random_timeline",
+]

@@ -1,0 +1,239 @@
+"""A workload whose behaviour mode can be swapped at runtime.
+
+:class:`SwitchableWorkload` is the unit the churn engine boots and
+phase-changes: one vCPU, one main thread whose body re-reads
+``self.mode`` every iteration, so a ``phase_change`` event takes
+effect within one work chunk.
+
+Modes:
+
+* ``"llcf"`` / ``"llco"`` / ``"lolcf"`` — compute chunks with the
+  canonical memory profile of that type;
+* ``"io"`` — a closed-loop request service *plus* a CGI-style burner
+  thread, i.e. the paper's heterogeneous (BOOST-defeating) IO flavour:
+  the vCPU stays busy, exhausts its quantum, and light-request latency
+  is at the mercy of the quantum length — exactly the case AQL's short
+  IOInt quantum rescues;
+* ``"spin"`` — dense lock activity against a private lock.
+
+Leaving ``"io"`` must not leak stale work: every client chain carries
+a generation tag, :meth:`set_mode` bumps the generation, and posts or
+handlers that see an old tag drop the chain.  A server thread parked
+in ``WaitEvent`` is unblocked with a ``None`` sentinel payload.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.dynamics.events import MODES
+from repro.guest.phases import (
+    Acquire,
+    Compute,
+    Phase,
+    Release,
+    Sleep,
+    WaitEvent,
+)
+from repro.guest.spinlock import SpinLock
+from repro.guest.thread import GuestThread
+from repro.hardware.cache import MemoryProfile
+from repro.sim.units import MS
+from repro.workloads.base import PerfResult, Workload
+from repro.workloads.profiles import llcf_profile, llco_profile, lolcf_profile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.event_channel import EventPort
+    from repro.hypervisor.machine import Machine
+    from repro.hypervisor.vm import VM
+
+
+class SwitchableWorkload(Workload):
+    """One vCPU of mode-switchable behaviour (the churn unit)."""
+
+    def __init__(
+        self,
+        name: str,
+        mode: str = "llcf",
+        clients: int = 8,
+        think_ns: int = 5 * MS,
+        service_instructions: float = 100_000.0,
+        chunk_instructions: float = 3_000_000.0,
+        cgi_instructions: float = 1_000_000.0,
+        vcpu_index: int = 0,
+    ):
+        super().__init__(name)
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+        if clients <= 0:
+            raise ValueError("need at least one client")
+        self.mode = mode
+        self.clients = clients
+        self.think_ns = think_ns
+        self.service_instructions = service_instructions
+        self.chunk_instructions = chunk_instructions
+        self.cgi_instructions = cgi_instructions
+        self.vcpu_index = vcpu_index
+        self.port: Optional["EventPort"] = None
+        self.thread: Optional[GuestThread] = None
+        self.burner: Optional[GuestThread] = None
+        #: (time_ns, new mode) — every set_mode that took effect
+        self.mode_changes: list[tuple[int, str]] = []
+        #: completed work chunks / requests across all modes
+        self.units_done = 0
+        self.completed = 0
+        self.latencies_ns: list[float] = []
+        self._generation = 0
+        self._lock = SpinLock(f"{name}.lock")
+        self._profiles: dict[str, MemoryProfile] = {}
+        self._rng = None
+        self._window_start_ns: Optional[int] = None
+        self._window_start_units = 0
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+    def _install(self, machine: "Machine", vm: "VM") -> None:
+        assert vm.guest is not None
+        spec = machine.spec
+        self._profiles = {
+            "llcf": llcf_profile(spec),
+            "llco": llco_profile(spec),
+            "lolcf": lolcf_profile(spec),
+        }
+        vcpu = vm.vcpus[self.vcpu_index]
+        self.port = machine.new_port(vcpu, f"{self.name}.port")
+        self._rng = machine.rng.stream(f"dyn/{self.name}")
+        self.thread = GuestThread(f"{self.name}.t", self._body)
+        vm.guest.add_thread(self.thread, vcpu)
+        self.burner = GuestThread(f"{self.name}.cgi", self._burner_body)
+        vm.guest.add_thread(self.burner, vcpu)
+        if self.mode == "io":
+            self._kick_clients()
+
+    # ------------------------------------------------------------------
+    # closed-loop clients (io mode)
+    # ------------------------------------------------------------------
+    def _kick_clients(self) -> None:
+        assert self.machine is not None and self._rng is not None
+        generation = self._generation
+        for _ in range(self.clients):
+            delay = int(self._rng.exponential(self.think_ns)) + 1
+            self.machine.sim.after(
+                delay,
+                lambda g=generation: self._send(g),
+                f"{self.name}.req",
+            )
+
+    def _send(self, generation: int) -> None:
+        assert self.machine is not None
+        if generation != self._generation:
+            return  # chain from a previous io phase: let it die
+        if self.port is None or self.port.closed:
+            return
+        self.port.post((generation, self.machine.sim.now))
+
+    def _think_then_send(self, generation: int) -> None:
+        assert self.machine is not None and self._rng is not None
+        delay = int(self._rng.exponential(self.think_ns)) + 1
+        self.machine.sim.after(
+            delay, lambda: self._send(generation), f"{self.name}.think"
+        )
+
+    # ------------------------------------------------------------------
+    # guest-thread bodies
+    # ------------------------------------------------------------------
+    def _body(self, thread: GuestThread) -> Iterator[Phase]:
+        while True:
+            mode = self.mode
+            if mode in self._profiles:
+                yield Compute(
+                    self.chunk_instructions, profile=self._profiles[mode]
+                )
+                self.units_done += 1
+            elif mode == "spin":
+                yield Compute(150_000)
+                yield Acquire(self._lock)
+                yield Compute(500)
+                yield Release(self._lock)
+                self.units_done += 1
+            else:  # io
+                assert self.port is not None
+                wait = WaitEvent(self.port)
+                yield wait
+                payload = wait.payload
+                if not isinstance(payload, tuple):
+                    continue  # mode-change sentinel wake-up
+                generation, arrival = payload
+                if generation != self._generation:
+                    continue  # stale request from before a mode change
+                if self.service_instructions > 0:
+                    yield Compute(self.service_instructions)
+                self.latencies_ns.append(float(self.now - arrival))
+                self.completed += 1
+                self.units_done += 1
+                self._think_then_send(generation)
+
+    def _burner_body(self, thread: GuestThread) -> Iterator[Phase]:
+        # the CGI component of heterogeneous IO: always ready while in
+        # io mode (so the vCPU exhausts its quantum and loses BOOST),
+        # dormant otherwise
+        while True:
+            if self.mode == "io":
+                yield Compute(
+                    self.cgi_instructions, profile=self._profiles["lolcf"]
+                )
+            else:
+                yield Sleep(5 * MS)
+
+    # ------------------------------------------------------------------
+    # the churn hook
+    # ------------------------------------------------------------------
+    def set_mode(self, mode: str) -> None:
+        """Swap behaviour; takes effect within one work chunk."""
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+        if mode == self.mode:
+            return
+        was_io = self.mode == "io"
+        self.mode = mode
+        self.mode_changes.append((self.now, mode))
+        self._generation += 1
+        if mode == "io":
+            if self.port is not None:
+                self.port.pending.clear()  # requests from a dead phase
+            self._kick_clients()
+        elif was_io and self.port is not None and not self.port.closed:
+            # the server thread may be parked in WaitEvent: sentinel it
+            # awake so it notices the new mode
+            self.port.post(None)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def begin_measurement(self) -> None:
+        self._window_start_ns = self.now
+        self._window_start_units = self.units_done
+
+    def result(self) -> PerfResult:
+        if self._window_start_ns is None:
+            raise RuntimeError(
+                f"{self.name}: begin_measurement was never called"
+            )
+        window = self.now - self._window_start_ns
+        units = self.units_done - self._window_start_units
+        if units <= 0:
+            raise RuntimeError(f"{self.name}: no work completed in window")
+        return PerfResult(
+            name=self.name,
+            metric="ns_per_unit",
+            value=window / units,
+            details=(
+                ("units", units),
+                ("mode", self.mode),
+                ("requests", self.completed),
+            ),
+        )
+
+
+__all__ = ["SwitchableWorkload"]

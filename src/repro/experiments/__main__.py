@@ -185,6 +185,12 @@ def _ablations(fast: bool, runner: Optional[SweepRunner]) -> str:
     return "\n\n".join(parts)
 
 
+def _churn(fast: bool, runner: Optional[SweepRunner]) -> str:
+    from repro.experiments.churn import render_churn, run_churn
+
+    return render_churn(run_churn(fast=fast, runner=runner))
+
+
 EXPERIMENTS: dict[
     str, tuple[str, Callable[[bool, Optional[SweepRunner]], str]]
 ] = {
@@ -202,6 +208,8 @@ EXPERIMENTS: dict[
     "sync": ("§3.2 ablation: spin locks vs blocking semaphores", _sync),
     "window": ("§3.3.1: vTRS window-size sensitivity", _window),
     "random": ("generalisation: AQL on random colocation mixes", _random),
+    "churn": ("dynamics: VM churn, phase changes & faults, AQL vs Xen",
+              _churn),
 }
 
 
@@ -246,6 +254,11 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true",
         help="suppress per-cell progress lines on stderr",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="with the churn experiment: also run one traced churn story "
+             "and write a chrome://tracing JSON to PATH",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -264,6 +277,17 @@ def main(argv: list[str] | None = None) -> int:
         start = time.perf_counter()
         print(experiment(args.fast, runner))
         print(f"[{name} took {time.perf_counter() - start:.1f}s]")
+    if args.trace_out is not None:
+        if "churn" not in names:
+            parser.error("--trace-out requires the churn experiment")
+        from repro.experiments.churn import export_churn_trace
+
+        count = export_churn_trace(args.trace_out, fast=args.fast)
+        # stderr: stdout must stay byte-identical with/without the flag
+        print(
+            f"[trace] wrote {count} events to {args.trace_out}",
+            file=sys.stderr,
+        )
     if runner.cache is not None:
         print(f"[cache] {runner.cache.stats.as_line()}", file=sys.stderr)
     return 0

@@ -46,6 +46,10 @@ class EventPort:
         self.waiter: Optional["GuestThread"] = None
         self.posted = 0
         self.consumed = 0
+        #: set by :meth:`close` (VM shutdown); a closed port drops
+        #: every subsequent post instead of touching the dead vCPU
+        self.closed = False
+        self.dropped = 0
 
     def post(self, payload: object = None) -> None:
         """Deliver an event notification to the bound vCPU.
@@ -54,8 +58,13 @@ class EventPort:
         vCPU is woken through the hypervisor (BOOST path), while a vCPU
         that is running another thread takes a *guest interrupt*: the
         guest OS switches to the handler immediately, like a real
-        kernel's IRQ path.
+        kernel's IRQ path.  Posts to a closed port (the bound VM was
+        shut down) are counted and dropped — in-flight IO completions
+        routinely outlive the VM they were destined for.
         """
+        if self.closed:
+            self.dropped += 1
+            return
         self.pending.append(payload)
         self.posted += 1
         self.vcpu.io_events += 1.0
@@ -75,6 +84,19 @@ class EventPort:
             return False, None
         self.consumed += 1
         return True, self.pending.popleft()
+
+    def close(self) -> None:
+        """Tear the port down: drain pending events, detach the waiter.
+
+        Pending (undelivered) events count as dropped — they will never
+        reach a handler.  Idempotent.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self.dropped += len(self.pending)
+        self.pending.clear()
+        self.waiter = None
 
     @property
     def backlog(self) -> int:

@@ -56,13 +56,16 @@ _MIN_COMPLETION_DELAY_NS = 200
 class PCpuContext:
     """Scheduling state the hypervisor keeps per physical core."""
 
-    __slots__ = ("pcpu", "pool", "current", "runq")
+    __slots__ = ("pcpu", "pool", "current", "runq", "tick_event", "offline")
 
     def __init__(self, pcpu: PCpu, pool: CpuPool):
         self.pcpu = pcpu
         self.pool = pool
         self.current: Optional[VCpu] = None
         self.runq = RunQueue()
+        #: the pending 10 ms tick, cancelled while the pCPU is offline
+        self.tick_event = None
+        self.offline = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         cur = self.current.name if self.current else "idle"
@@ -112,12 +115,26 @@ class Machine:
         self.scheduler = CreditScheduler(self, self.params)
 
         self.vms: list[VM] = []
+        #: VMs removed by :meth:`shutdown_vm`; kept so post-mortem
+        #: accounting (instruction totals, invariant checks) still sees
+        #: their threads and counters
+        self.retired_vms: list[VM] = []
         self._next_vcpu_id = 0
         self._next_vm_id = 0
         self._started = False
         #: runnable vCPUs parked by cap throttling, re-queued at the
         #: next accounting once their VM is under its cap again
         self._parked: list[VCpu] = []
+        #: pCPUs removed by fault injection (:meth:`offline_pcpu`)
+        self.offline_pcpus: set[PCpu] = set()
+        #: the most recently installed PoolPlan (None until the first
+        #: apply_pool_plan) — invariant checks compare live pool quanta
+        #: against it
+        self.last_plan: Optional[PoolPlan] = None
+        #: machine-wide count of vCPU pool moves (plan migrations plus
+        #: fault-driven re-absorptions) — the adaptation-metrics layer
+        #: reads deltas of this around churn events
+        self.migrations_total = 0
 
     # ==================================================================
     # construction API
@@ -166,11 +183,17 @@ class Machine:
         return vm
 
     def new_port(self, vcpu: VCpu, name: str) -> EventPort:
-        return EventPort(name, vcpu, self.wake_vcpu, self.guest_interrupt)
+        port = EventPort(name, vcpu, self.wake_vcpu, self.guest_interrupt)
+        vcpu.vm.ports.append(port)
+        return port
 
     @property
     def all_vcpus(self) -> list[VCpu]:
         return [vcpu for vm in self.vms for vcpu in vm.vcpus]
+
+    @property
+    def online_pcpus(self) -> list[PCpu]:
+        return [p for p in self.topology.pcpus if p not in self.offline_pcpus]
 
     # ==================================================================
     # running
@@ -181,9 +204,25 @@ class Machine:
             return
         self._started = True
         for pcpu in self.topology.pcpus:
-            self._schedule_tick(self.contexts[pcpu])
+            ctx = self.contexts[pcpu]
+            if not ctx.offline:
+                self._schedule_tick(ctx)
         self._schedule_accounting()
         for vcpu in self.all_vcpus:
+            guest = vcpu.vm.guest
+            if guest is not None and guest.has_runnable(vcpu):
+                self.wake_vcpu(vcpu)
+
+    def boot_vm(self, vm: VM) -> None:
+        """Hot-add: wake a freshly-installed VM on a running machine.
+
+        ``new_vm`` + workload install only create blocked vCPUs; before
+        :meth:`start` that is fine (start wakes everything), but a VM
+        booted mid-run needs this explicit nudge.
+        """
+        if not self._started:
+            return
+        for vcpu in vm.vcpus:
             guest = vcpu.vm.guest
             if guest is not None and guest.has_runnable(vcpu):
                 self.wake_vcpu(vcpu)
@@ -291,6 +330,26 @@ class Machine:
         vcpu.exhausted_last_quantum = True
         self.trace.emit(self.sim.now, "preempt", vcpu=vcpu.name)
         self._reschedule(ctx)
+
+    def _deschedule_current(self, ctx: PCpuContext) -> Optional[VCpu]:
+        """Strip the running vCPU off ``ctx`` with exact integration.
+
+        The vCPU is left RUNNABLE but *not* re-queued — callers
+        (shutdown, fault injection, plan application) decide where it
+        goes next.  Returns it, or None if the pCPU was idle.
+        """
+        current = ctx.current
+        if current is None:
+            return None
+        self._integrate(current)
+        self._cancel_events(current)
+        current.state = VCpuState.RUNNABLE
+        current.priority = self.scheduler.priority_for(current)
+        current.pcpu = None
+        current.segment_kind = None
+        ctx.current = None
+        self.trace.emit(self.sim.now, "desched", vcpu=current.name)
+        return current
 
     def _block_vcpu(self, vcpu: VCpu) -> None:
         """No runnable guest thread: give up the pCPU."""
@@ -561,8 +620,8 @@ class Machine:
 
     def _thread_timer_wake(self, thread: GuestThread) -> None:
         vcpu = thread.vcpu
-        if vcpu is None or thread.done:
-            return
+        if vcpu is None or thread.done or not vcpu.vm.alive:
+            return  # sleep/sem timers routinely outlive a shut-down VM
         guest = vcpu.vm.guest
         assert guest is not None
         if guest.thread_ready(thread):
@@ -620,9 +679,13 @@ class Machine:
     # periodic machinery
     # ==================================================================
     def _schedule_tick(self, ctx: PCpuContext) -> None:
-        self.sim.after(self.params.tick_ns, lambda: self._on_tick(ctx), "tick")
+        ctx.tick_event = self.sim.after(
+            self.params.tick_ns, lambda: self._on_tick(ctx), "tick"
+        )
 
     def _on_tick(self, ctx: PCpuContext) -> None:
+        if ctx.offline:  # raced with offline_pcpu; do not re-arm
+            return
         current = ctx.current
         if current is not None:
             self._integrate(current)
@@ -693,6 +756,140 @@ class Machine:
         self._schedule_accounting()
 
     # ==================================================================
+    # lifecycle: VM teardown and pCPU fault injection
+    # ==================================================================
+    def shutdown_vm(self, vm: VM) -> None:
+        """Tear a VM down cleanly while the machine keeps running.
+
+        Every port is closed (pending events dropped), every vCPU is
+        pulled out of whatever scheduler structure holds it (a pCPU,
+        a run queue, the cap-parking list), its pool membership is
+        dissolved, and a pool left without vCPUs collapses back into
+        the default pool.  Stale timers aimed at the VM's threads are
+        neutralised by the ``vm.alive`` guard, not by hunting events.
+        """
+        if vm not in self.vms:
+            raise ValueError(f"{vm!r} is not a live VM of this machine")
+        for port in vm.ports:
+            port.close()
+        for vcpu in vm.vcpus:
+            if vcpu.state == VCpuState.RUNNING:
+                assert vcpu.pcpu is not None
+                ctx = self.contexts[vcpu.pcpu]
+                self._deschedule_current(ctx)
+                self._reschedule(ctx)  # backfill the freed pCPU
+            if vcpu.state == VCpuState.RUNNABLE:
+                if vcpu in self._parked:
+                    self._parked.remove(vcpu)
+                else:
+                    for ctx in self.contexts.values():
+                        if ctx.runq.remove(vcpu):
+                            break
+            self._cancel_events(vcpu)
+            vcpu.state = VCpuState.BLOCKED
+            vcpu.current_thread = None
+            vcpu.segment_kind = None
+            pool = vcpu.pool
+            if pool is not None:
+                pool.remove_vcpu(vcpu)
+                self._maybe_collapse_pool(pool)
+        vm.alive = False
+        self.vms.remove(vm)
+        self.retired_vms.append(vm)
+        self.trace.emit(self.sim.now, "vm-shutdown", vm=vm.name)
+
+    def _maybe_collapse_pool(self, pool: CpuPool) -> None:
+        """An emptied non-default pool returns its pCPUs to the default."""
+        if pool is self.default_pool or pool.vcpus or pool not in self.pools:
+            return
+        for pcpu in pool.release_pcpus():
+            self.default_pool.add_pcpu(pcpu)
+            self.contexts[pcpu].pool = self.default_pool
+        self.pools.remove(pool)
+
+    def offline_pcpu(self, pcpu: PCpu) -> None:
+        """Fault injection: a pCPU disappears mid-run.
+
+        Whoever runs or queues there is displaced and re-queued on the
+        pool's surviving pCPUs; if the pool just lost its last pCPU its
+        vCPUs are re-absorbed by the least-loaded pool that still owns
+        cores.  The pCPU's tick is cancelled so it costs nothing while
+        dark.
+        """
+        if pcpu in self.offline_pcpus:
+            raise ValueError(f"{pcpu!r} is already offline")
+        if len(self.online_pcpus) <= 1:
+            raise ValueError("cannot offline the last online pCPU")
+        ctx = self.contexts[pcpu]
+        pool = ctx.pool
+        displaced: list[VCpu] = []
+        current = self._deschedule_current(ctx)
+        if current is not None:
+            displaced.append(current)
+        displaced.extend(ctx.runq.drain())
+        if pcpu in pool.pcpus:
+            pool.remove_pcpu(pcpu)
+        self.offline_pcpus.add(pcpu)
+        ctx.offline = True
+        if ctx.tick_event is not None:
+            ctx.tick_event.cancel()
+            ctx.tick_event = None
+        if not pool.pcpus and pool.vcpus:
+            # the pool lost its last core: its vCPUs must live elsewhere
+            refuge = self._absorbing_pool()
+            for vcpu in pool.release_vcpus():
+                refuge.add_vcpu(vcpu)
+                vcpu.migrations += 1
+                self.migrations_total += 1
+            if pool in self.pools and pool is not self.default_pool:
+                self.pools.remove(pool)
+        for vcpu in displaced:
+            if vcpu.throttled:
+                if vcpu not in self._parked:
+                    self._parked.append(vcpu)
+                continue
+            target = self.scheduler.enqueue(vcpu)
+            self._kick(target)
+        self.trace.emit(self.sim.now, "pcpu-offline", pcpu=pcpu.cpu_id)
+
+    def _absorbing_pool(self) -> CpuPool:
+        """Where orphaned vCPUs go: the least-loaded pool with cores."""
+        candidates = [p for p in self.pools if p.pcpus]
+        if not candidates:
+            raise RuntimeError("no pool with an online pCPU left")
+        return min(candidates, key=lambda p: (p.load, p.pool_id))
+
+    def online_pcpu(
+        self, pcpu: PCpu, pool: Optional[CpuPool] = None
+    ) -> None:
+        """Bring a failed pCPU back, attaching it to ``pool``.
+
+        Without an explicit pool the core joins the most loaded pool
+        that has vCPUs to relieve (AQL's next decision re-places it
+        anyway); its tick restarts and it immediately steals work.
+        """
+        if pcpu not in self.offline_pcpus:
+            raise ValueError(f"{pcpu!r} is not offline")
+        self.offline_pcpus.discard(pcpu)
+        ctx = self.contexts[pcpu]
+        ctx.offline = False
+        target = pool
+        if target is None:
+            loaded = [p for p in self.pools if p.vcpus and p.pcpus]
+            if loaded:
+                target = max(
+                    loaded, key=lambda p: (p.load, -p.pool_id)
+                )
+            else:
+                target = self.default_pool
+        target.add_pcpu(pcpu)
+        ctx.pool = target
+        if self._started:
+            self._schedule_tick(ctx)
+            self._reschedule(ctx)  # work-steal from pool siblings now
+        self.trace.emit(self.sim.now, "pcpu-online", pcpu=pcpu.cpu_id)
+
+    # ==================================================================
     # pool reconfiguration (what AQL drives)
     # ==================================================================
     def apply_pool_plan(self, plan: PoolPlan) -> None:
@@ -701,8 +898,10 @@ class Machine:
         Every running vCPU is descheduled (with exact integration), all
         queues drained, pools rebuilt, and every runnable vCPU re-queued
         in its new pool.  Blocked vCPUs simply change pool membership.
+        Offline pCPUs are outside the plan's world: it must cover
+        exactly the online ones.
         """
-        plan.validate(self.topology.pcpus, self.all_vcpus)
+        plan.validate(self.online_pcpus, self.all_vcpus)
         self.sync()
 
         old_pool_pcpus = {
@@ -712,16 +911,8 @@ class Machine:
 
         runnable: list[VCpu] = []
         for ctx in self.contexts.values():
-            current = ctx.current
+            current = self._deschedule_current(ctx)
             if current is not None:
-                self._integrate(current)
-                self._cancel_events(current)
-                current.state = VCpuState.RUNNABLE
-                current.priority = self.scheduler.priority_for(current)
-                current.pcpu = None
-                current.segment_kind = None
-                ctx.current = None
-                self.trace.emit(self.sim.now, "desched", vcpu=current.name)
                 runnable.append(current)
             runnable.extend(ctx.runq.drain())
 
@@ -734,8 +925,10 @@ class Machine:
                 pool.add_vcpu(vcpu)
                 if tuple(pool.pcpus) != old_pool_pcpus[vcpu]:
                     vcpu.migrations += 1
+                    self.migrations_total += 1
         if self.pools:
             self.default_pool = self.pools[0]
+        self.last_plan = plan
 
         for vcpu in runnable:
             if vcpu.throttled:

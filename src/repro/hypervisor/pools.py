@@ -46,6 +46,19 @@ class CpuPool:
         if vcpu.pool is self:
             vcpu.pool = None
 
+    def release_pcpus(self) -> list["PCpu"]:
+        """Give up every pCPU (pool collapse); returns them in order."""
+        released = list(self.pcpus)
+        self.pcpus.clear()
+        return released
+
+    def release_vcpus(self) -> list["VCpu"]:
+        """Detach every vCPU (e.g. the pool lost its last pCPU)."""
+        released = sorted(self.vcpus, key=lambda v: v.vcpu_id)
+        for vcpu in released:
+            self.remove_vcpu(vcpu)
+        return released
+
     @property
     def load(self) -> float:
         """vCPUs per pCPU — the fairness ratio the clustering preserves."""

@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.guest.os import GuestOS
     from repro.guest.thread import GuestThread
     from repro.hardware.topology import PCpu
+    from repro.hypervisor.event_channel import EventPort
     from repro.hypervisor.pools import CpuPool
     from repro.sim.engine import Event
 
@@ -129,6 +130,12 @@ class VM:
         #: per-VM spin-lock notification count (paravirtual fallback);
         #: PLE counts live on each vCPU.
         self.spin_notifications = 0.0
+        #: False once Machine.shutdown_vm ran: stale timer wakes and
+        #: event posts aimed at this VM must be dropped, not delivered.
+        self.alive = True
+        #: every event-channel port bound to this VM's vCPUs, so
+        #: shutdown can close them all (registered by Machine.new_port).
+        self.ports: list["EventPort"] = []
 
     def __repr__(self) -> str:
         return f"<VM {self.name} x{len(self.vcpus)}>"

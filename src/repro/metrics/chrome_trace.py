@@ -1,0 +1,125 @@
+"""Export a :class:`TraceRecorder` to Chrome's ``trace_event`` format.
+
+The output loads in ``chrome://tracing`` / https://ui.perfetto.dev:
+one track per pCPU (tid), vCPU occupancy as complete ("X") slices
+reconstructed by :func:`repro.metrics.timeline.build_timeline`, and
+the churn/scheduler milestones — pool-plan installs, VM shutdowns,
+pCPU faults and every churn event — as global instant ("i") events,
+so adaptation lag is literally visible as the gap between the instant
+marker and the layout change on the tracks.
+
+All timestamps are microseconds (the trace_event unit); the simulator
+runs in integer nanoseconds, so slices keep sub-µs precision via
+fractional ``ts``/``dur``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from repro.metrics.timeline import TIMELINE_KINDS, build_timeline
+from repro.sim.tracing import TraceRecorder
+
+#: trace kinds rendered as instant markers
+INSTANT_KINDS = (
+    "churn",
+    "pool-plan",
+    "vm-shutdown",
+    "pcpu-offline",
+    "pcpu-online",
+)
+
+#: everything the exporter consumes — pass to ``TraceRecorder(kinds=...)``
+CHROME_KINDS = tuple(sorted(TIMELINE_KINDS)) + INSTANT_KINDS
+
+
+def chrome_trace_events(
+    trace: TraceRecorder, end_time: int
+) -> list[dict]:
+    """The ``traceEvents`` list for one recorded run."""
+    timeline = build_timeline(trace, end_time)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "machine"},
+        }
+    ]
+    for pcpu in sorted({i.pcpu for i in timeline.intervals}):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": pcpu,
+                "args": {"name": f"pCPU{pcpu}"},
+            }
+        )
+    for interval in timeline.intervals:
+        events.append(
+            {
+                "name": interval.vcpu,
+                "cat": "vcpu",
+                "ph": "X",
+                "ts": interval.start / 1000.0,
+                "dur": interval.duration / 1000.0,
+                "pid": 0,
+                "tid": interval.pcpu,
+            }
+        )
+    for record in trace:
+        if record.kind not in INSTANT_KINDS:
+            continue
+        payload = dict(record.payload)
+        name = record.kind
+        if record.kind == "churn":
+            name = payload.get("detail", "churn")
+        events.append(
+            {
+                "name": name,
+                "cat": "churn",
+                "ph": "i",
+                "s": "g",  # global scope: a full-height marker line
+                "ts": record.time / 1000.0,
+                "pid": 0,
+                "tid": 0,
+                "args": {k: _jsonable(v) for k, v in payload.items()},
+            }
+        )
+    return events
+
+
+def _jsonable(value: object) -> Union[str, int, float, bool, None]:
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)
+
+
+def to_chrome_trace(trace: TraceRecorder, end_time: int) -> dict:
+    return {
+        "traceEvents": chrome_trace_events(trace, end_time),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(
+    path: str, trace: TraceRecorder, end_time: int
+) -> int:
+    """Write the JSON document; returns the number of trace events."""
+    doc = to_chrome_trace(trace, end_time)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+        fh.write("\n")
+    return len(doc["traceEvents"])
+
+
+__all__ = [
+    "CHROME_KINDS",
+    "INSTANT_KINDS",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -25,12 +25,19 @@ def check_machine_invariants(machine: Machine) -> None:
     """Structural invariants that must hold at any quiescent point."""
     seen: dict[int, str] = {}
     for ctx in machine.contexts.values():
+        if ctx.offline:
+            # a failed pCPU runs nothing and queues nothing
+            assert ctx.pcpu in machine.offline_pcpus
+            assert ctx.current is None
+            assert len(ctx.runq) == 0
+            continue
         # each context's pool owns the pcpu
         assert ctx.pcpu in ctx.pool.pcpus
         if ctx.current is not None:
             vcpu = ctx.current
             assert vcpu.state == VCpuState.RUNNING
             assert vcpu.pcpu is ctx.pcpu
+            # a vCPU on two pCPUs would show up twice here
             assert vcpu.vcpu_id not in seen
             seen[vcpu.vcpu_id] = "running"
         for vcpu in ctx.runq:
@@ -42,8 +49,41 @@ def check_machine_invariants(machine: Machine) -> None:
             assert vcpu.state in (VCpuState.BLOCKED, VCpuState.RUNNABLE), (
                 f"{vcpu!r} neither running, queued, blocked nor parked"
             )
-    # total CPU time handed out cannot exceed wall time x pCPUs
+    # every live vCPU belongs to exactly one pool (and agrees about it)
+    for vcpu in machine.all_vcpus:
+        owners = [pool for pool in machine.pools if vcpu in pool.vcpus]
+        assert len(owners) == 1, f"{vcpu!r} owned by {len(owners)} pools"
+        assert vcpu.pool is owners[0]
+    # live pools still carry the quantum the last installed plan chose
+    if machine.last_plan is not None:
+        plan_quanta = {
+            name: quantum for name, _, quantum, _ in machine.last_plan.entries
+        }
+        for pool in machine.pools:
+            if pool.name in plan_quanta:
+                assert pool.quantum_ns == plan_quanta[pool.name], pool.name
+    # shut-down VMs are fully withdrawn: ports closed and drained,
+    # vCPUs in no pool / queue / context, credits can't be charged
+    for vm in machine.retired_vms:
+        assert not vm.alive
+        for port in vm.ports:
+            assert port.closed
+            assert not port.pending, f"{port.name}: events to a dead VM"
+        for vcpu in vm.vcpus:
+            assert vcpu.state == VCpuState.BLOCKED
+            assert vcpu.pool is None
+            assert vcpu not in machine._parked
+            for pool in machine.pools:
+                assert vcpu not in pool.vcpus, "retired vCPU still pooled"
+            for ctx in machine.contexts.values():
+                assert ctx.current is not vcpu
+                assert vcpu not in ctx.runq, "retired vCPU still queued"
+    # total CPU time handed out (including by since-retired VMs) cannot
+    # exceed wall time x pCPUs
     total_run = sum(v.run_ns_total for v in machine.all_vcpus)
+    total_run += sum(
+        v.run_ns_total for vm in machine.retired_vms for v in vm.vcpus
+    )
     capacity = machine.sim.now * len(machine.topology.pcpus)
     assert total_run <= capacity * (1 + 1e-6)
 
@@ -92,6 +132,42 @@ def test_random_scenarios_run_clean(mix, policy_index, seed):
         )
         if vm_threads:
             assert any(t.instructions_retired > 0 for t in vm_threads), key
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    policy_index=st.integers(min_value=0, max_value=1),
+)
+def test_random_churn_keeps_invariants(seed, policy_index):
+    """A random churn timeline (boots, teardowns, phase changes, faults)
+    never corrupts scheduler structure under either policy."""
+    from repro.dynamics import random_timeline
+    from repro.experiments.churn import BASE, ChurnStory, _run_churn
+
+    timeline = random_timeline(
+        seed=seed,
+        n_events=5,
+        base_vms=tuple((member.name, member.mode) for member in BASE),
+        pcpus=2,
+        start_ns=200 * MS,
+        spacing_ns=200 * MS,
+    )
+    story = ChurnStory("fuzz", BASE, timeline)
+    policy_name = ("xen", "aql")[policy_index]
+    run, machine = _run_churn(
+        story,
+        policy_name,
+        warmup_ns=300 * MS,
+        measure_ns=timeline.duration_ns + 400 * MS,
+        seed=seed,
+    )
+    assert run.events_applied == len(timeline)
+    check_machine_invariants(machine)
+    # run on after the story: teardown must not have wedged anything
+    machine.run(200 * MS)
+    machine.sync()
+    check_machine_invariants(machine)
 
 
 class TestLongRunStability:

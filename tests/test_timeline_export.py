@@ -138,3 +138,69 @@ class TestCsvExport:
         assert len(rows) == 2
         assert rows[0]["policy"] == "xen"
         write_csv(tmp_path / "scenario.csv", rows)
+
+
+class TestChromeTrace:
+    def test_slices_and_metadata(self, tmp_path):
+        import json
+
+        from repro.metrics.chrome_trace import (
+            to_chrome_trace,
+            write_chrome_trace,
+        )
+
+        machine = traced_machine(hogs=2, pcpus=1, quantum=10 * MS)
+        machine.run(200 * MS)
+        doc = to_chrome_trace(machine.trace, machine.sim.now)
+        events = doc["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices, "a busy machine must produce occupancy slices"
+        names = {e["name"] for e in slices}
+        assert {"vm0/v0", "vm1/v0"} <= names
+        # ts/dur are microseconds: total busy time ~ 200 ms on 1 pCPU
+        busy_us = sum(e["dur"] for e in slices if e["tid"] == 0)
+        assert busy_us == pytest.approx(200_000, rel=0.02)
+        metas = [e for e in events if e["ph"] == "M"]
+        assert any(e["args"].get("name") == "pCPU0" for e in metas)
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, machine.trace, machine.sim.now)
+        assert count == len(events)
+        assert json.loads(path.read_text())["traceEvents"] == events
+
+    def test_churn_events_become_instants(self, tmp_path):
+        from repro.dynamics import (
+            ChurnEngine,
+            ChurnTimeline,
+            PhaseChange,
+            SwitchableWorkload,
+            VmShutdown,
+        )
+        from repro.metrics.chrome_trace import to_chrome_trace
+        from repro.sim.tracing import TraceRecorder
+
+        machine = Machine(seed=1, trace=TraceRecorder(enabled=True))
+        workloads = {}
+        for name, mode in (("a", "llcf"), ("b", "llco")):
+            vm = machine.new_vm(name, 1)
+            workload = SwitchableWorkload(name, mode=mode, clients=2)
+            workload.install(machine, vm)
+            workloads[name] = workload
+        timeline = ChurnTimeline(
+            (
+                PhaseChange(50 * MS, name="a", mode="io"),
+                VmShutdown(100 * MS, name="b"),
+            )
+        )
+        engine = ChurnEngine(machine, timeline, workloads=workloads)
+        machine.run(10 * MS)
+        engine.arm()
+        machine.run(200 * MS)
+        doc = to_chrome_trace(machine.trace, machine.sim.now)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        by_name = {e["name"] for e in instants}
+        assert "phase a -> io" in by_name
+        assert "shutdown b" in by_name
+        assert "vm-shutdown" in by_name
+        # instants carry their payload and a global scope marker
+        for instant in instants:
+            assert instant["s"] == "g"
