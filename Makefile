@@ -3,7 +3,7 @@
 PYTHON ?= python3
 JOBS ?= 4
 
-.PHONY: install test bench figures sweep examples clean clean-cache
+.PHONY: install test bench bench-json bench-check figures sweep examples clean clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -13,6 +13,15 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# full benchmark run; rewrites the tracked BENCH_sim.json baseline
+bench-json:
+	$(PYTHON) benchmarks/run_bench.py
+
+# CI smoke: quick run gated against the committed baseline (25% floor)
+bench-check:
+	$(PYTHON) benchmarks/run_bench.py --quick --out BENCH_quick.json \
+		--compare BENCH_sim.json
 
 figures:
 	$(PYTHON) -m repro.experiments all

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Run the simulator benchmark suite and record ``BENCH_sim.json``.
+
+This is the perf-trajectory driver: it runs the pytest-benchmark
+scenarios in ``benchmarks/test_simulator_performance.py`` under one
+simulator kernel, derives the two throughput figures the project tracks
+— **events/sec** and **virtual-seconds-per-wall-second** — per scenario,
+and writes them to ``BENCH_sim.json`` (schema below).  CI runs it with
+``--quick --compare BENCH_sim.json`` to fail any change that slows the
+small-quantum regime by more than 25%.
+
+    python benchmarks/run_bench.py                    # full, writes BENCH_sim.json
+    python benchmarks/run_bench.py --quick            # CI smoke (1 round, short runs)
+    python benchmarks/run_bench.py --kernel heap      # measure the heap-only kernel
+    python benchmarks/run_bench.py --quick \
+        --compare BENCH_sim.json --max-regression 0.25
+
+Output schema (``schema: 1``)::
+
+    {
+      "schema": 1,
+      "kernel": "wheel",
+      "quick": false,
+      "scenarios": {
+        "test_small_quantum_simulation_speed": {
+          "wall_seconds_min": 0.021,      # fastest round
+          "events": 2088,                 # events fired per round
+          "virtual_ns": 500000000,        # virtual time per round
+          "events_per_sec": 95000.0,      # events / wall_seconds_min
+          "virtual_sec_per_wall_sec": 22.9
+        },
+        ...
+      }
+    }
+
+Timings use the *fastest* round (minimum wall time): scheduler noise
+only ever makes a round slower, so the minimum is the most reproducible
+estimate of the code's cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The scenario the CI regression gate watches (the paper's expensive
+#: 1 ms-quantum regime — the reason the fast-path kernel exists).
+GATED_SCENARIO = "test_small_quantum_simulation_speed"
+
+
+def run_suite(quick: bool, kernel: str) -> dict:
+    """Run pytest-benchmark and return its parsed ``--benchmark-json``."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env["REPRO_SIM_KERNEL"] = kernel
+        env["REPRO_BENCH_QUICK"] = "1" if quick else "0"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(REPO_ROOT / "benchmarks" / "test_simulator_performance.py"),
+            "--benchmark-only",
+            f"--benchmark-json={json_path}",
+            "-q",
+        ]
+        result = subprocess.run(command, env=env, cwd=REPO_ROOT)
+        if result.returncode != 0:
+            raise SystemExit(f"benchmark suite failed (exit {result.returncode})")
+        with open(json_path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+
+def summarize(raw: dict, quick: bool, kernel: str) -> dict:
+    """Reduce pytest-benchmark output to the BENCH_sim.json schema."""
+    scenarios: dict[str, dict] = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"]
+        wall_min = bench["stats"]["min"]
+        extra = bench.get("extra_info", {})
+        events = extra.get("events")
+        virtual_ns = extra.get("virtual_ns")
+        entry: dict = {"wall_seconds_min": wall_min}
+        if events is not None:
+            entry["events"] = events
+            entry["events_per_sec"] = events / wall_min
+        if virtual_ns is not None:
+            entry["virtual_ns"] = virtual_ns
+            entry["virtual_sec_per_wall_sec"] = virtual_ns / 1e9 / wall_min
+        scenarios[name] = entry
+    return {
+        "schema": 1,
+        "kernel": kernel,
+        "quick": quick,
+        "scenarios": scenarios,
+    }
+
+
+def compare(current: dict, baseline: dict, max_regression: float) -> int:
+    """Regression gate on the small-quantum scenario; returns exit code."""
+    base_rate = baseline.get("scenarios", {}).get(GATED_SCENARIO, {}).get(
+        "events_per_sec"
+    )
+    cur_rate = current.get("scenarios", {}).get(GATED_SCENARIO, {}).get(
+        "events_per_sec"
+    )
+    if base_rate is None or cur_rate is None:
+        print(
+            f"[bench] cannot compare: {GATED_SCENARIO} missing events_per_sec "
+            f"(baseline={base_rate}, current={cur_rate})",
+            file=sys.stderr,
+        )
+        return 2
+    floor = base_rate * (1.0 - max_regression)
+    verdict = "OK" if cur_rate >= floor else "REGRESSION"
+    print(
+        f"[bench] {GATED_SCENARIO}: {cur_rate:,.0f} ev/s vs baseline "
+        f"{base_rate:,.0f} ev/s (floor {floor:,.0f}, "
+        f"-{max_regression:.0%} tolerance) -> {verdict}",
+        file=sys.stderr,
+    )
+    return 0 if verdict == "OK" else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the simulator benchmarks and write BENCH_sim.json."
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: 1 round and shorter simulated durations",
+    )
+    parser.add_argument(
+        "--kernel", choices=("heap", "wheel"), default="wheel",
+        help="simulator kernel to measure (default: wheel)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_sim.json"), metavar="PATH",
+        help="where to write the summary (default: BENCH_sim.json at repo root)",
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare against a committed BENCH_sim.json and exit non-zero "
+             "if the small-quantum scenario regressed",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="FRACTION",
+        help="allowed events/sec drop vs the baseline (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    # resolve before running: --compare BENCH_sim.json with the default
+    # --out must diff against the *committed* baseline, not the rewrite
+    baseline = None
+    if args.compare is not None:
+        baseline_path = Path(args.compare)
+        if not baseline_path.exists():
+            print(f"[bench] no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+
+    raw = run_suite(quick=args.quick, kernel=args.kernel)
+    summary = summarize(raw, quick=args.quick, kernel=args.kernel)
+    out_path = Path(args.out)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, entry in sorted(summary["scenarios"].items()):
+        rate = entry.get("events_per_sec")
+        vsec = entry.get("virtual_sec_per_wall_sec")
+        parts = [f"[bench] {name}: {entry['wall_seconds_min']:.4f}s"]
+        if rate is not None:
+            parts.append(f"{rate:,.0f} ev/s")
+        if vsec is not None:
+            parts.append(f"{vsec:.1f} vsec/wallsec")
+        print(" ".join(parts), file=sys.stderr)
+    print(f"[bench] wrote {out_path}", file=sys.stderr)
+
+    if baseline is not None:
+        return compare(summary, baseline, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

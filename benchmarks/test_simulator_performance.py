@@ -4,7 +4,18 @@ These use pytest-benchmark conventionally — multiple timed rounds — to
 track the engine's own speed: virtual-seconds per wall-second for a
 representative consolidated host, and raw event-loop throughput.
 Regressions here make every experiment slower.
+
+Each benchmark records ``extra_info["events"]`` (events fired per
+round) and ``extra_info["virtual_ns"]`` (virtual time simulated per
+round) so ``benchmarks/run_bench.py`` can derive events/sec and
+virtual-seconds-per-wall-second for ``BENCH_sim.json``.
+
+Setting ``REPRO_BENCH_QUICK=1`` shrinks rounds and simulated durations
+for the CI smoke job; rates (events/sec) stay comparable because the
+workloads are steady-state.
 """
+
+import os
 
 from repro.guest.phases import Compute
 from repro.guest.thread import GuestThread
@@ -13,6 +24,9 @@ from repro.sim.engine import Simulator, noop
 from repro.sim.units import MS
 from repro.workloads.io_workload import IoWorkload
 from repro.workloads.profiles import llcf_profile, llco_profile
+
+_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+_ROUNDS = 1 if _QUICK else 3
 
 
 def test_event_loop_throughput(benchmark):
@@ -26,11 +40,14 @@ def test_event_loop_throughput(benchmark):
         return sim.events_fired
 
     fired = benchmark(run)
+    benchmark.extra_info["events"] = fired
+    benchmark.extra_info["virtual_ns"] = 10_000
     assert fired == 10_000
 
 
 def test_consolidated_host_simulation_speed(benchmark):
     """One virtual second of a busy 16-vCPU-on-4-pCPU host."""
+    duration_ns = (250 if _QUICK else 1_000) * MS
 
     def run():
         machine = Machine(seed=0, default_quantum_ns=30 * MS)
@@ -47,15 +64,18 @@ def test_consolidated_host_simulation_speed(benchmark):
                     yield Compute(5_000_000, profile=p)
 
             vm.guest.add_thread(GuestThread(f"t{i}", hog))
-        machine.run(1_000 * MS)
+        machine.run(duration_ns)
         return machine.sim.events_fired
 
-    fired = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
-    assert fired > 1_000
+    fired = benchmark.pedantic(run, rounds=_ROUNDS, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["events"] = fired
+    benchmark.extra_info["virtual_ns"] = duration_ns
+    assert fired > (250 if _QUICK else 1_000)
 
 
 def test_small_quantum_simulation_speed(benchmark):
     """The expensive regime: 1 ms quanta mean 30x the scheduling events."""
+    duration_ns = (250 if _QUICK else 500) * MS
 
     def run():
         machine = Machine(seed=0, default_quantum_ns=1 * MS)
@@ -68,8 +88,10 @@ def test_small_quantum_simulation_speed(benchmark):
                     yield Compute(5_000_000)
 
             vm.guest.add_thread(GuestThread(f"t{i}", hog))
-        machine.run(500 * MS)
+        machine.run(duration_ns)
         return machine.sim.events_fired
 
-    fired = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
-    assert fired > 2_000
+    fired = benchmark.pedantic(run, rounds=_ROUNDS, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["events"] = fired
+    benchmark.extra_info["virtual_ns"] = duration_ns
+    assert fired > (1_000 if _QUICK else 2_000)

@@ -259,6 +259,13 @@ def main(argv: list[str] | None = None) -> int:
         help="with the churn experiment: also run one traced churn story "
              "and write a chrome://tracing JSON to PATH",
     )
+    parser.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="DEST",
+        help="capture a cProfile of the experiment runs; DEST '-' (the "
+             "default) prints a pstats table to stderr, a path ending in "
+             ".prof writes the binary dump for snakeviz/pstats, any other "
+             "path gets the text table",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -271,12 +278,26 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:  # bad --jobs / REPRO_JOBS
         parser.error(str(exc))
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        description, experiment = EXPERIMENTS[name]
-        print(f"\n=== {name}: {description} ===")
-        start = time.perf_counter()
-        print(experiment(args.fast, runner))
-        print(f"[{name} took {time.perf_counter() - start:.1f}s]")
+
+    def run_experiments() -> None:
+        for name in names:
+            description, experiment = EXPERIMENTS[name]
+            print(f"\n=== {name}: {description} ===")
+            start = time.perf_counter()
+            print(experiment(args.fast, runner))
+            print(f"[{name} took {time.perf_counter() - start:.1f}s]")
+
+    if args.profile is not None:
+        from repro.perf import capture
+
+        with capture() as prof:
+            run_experiments()
+        # stderr: stdout stays byte-identical with/without --profile
+        prof.write(args.profile)
+        if args.profile != "-":
+            print(f"[profile] wrote {args.profile}", file=sys.stderr)
+    else:
+        run_experiments()
     if args.trace_out is not None:
         if "churn" not in names:
             parser.error("--trace-out requires the churn experiment")

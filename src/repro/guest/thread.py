@@ -32,6 +32,23 @@ ThreadBody = Callable[["GuestThread"], Iterator[Phase]]
 class GuestThread:
     """One schedulable guest task."""
 
+    __slots__ = (
+        "tid",
+        "name",
+        "profile",
+        "state",
+        "vcpu",
+        "_generator",
+        "_body",
+        "phase",
+        "last_socket",
+        "instructions_retired",
+        "spin_ns",
+        "run_ns",
+        "started_at",
+        "finished_at",
+    )
+
     _next_tid = 0
 
     def __init__(

@@ -30,7 +30,7 @@ from typing import Hashable
 _EPSILON_BYTES = 1.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryProfile:
     """How a stream of instructions exercises the memory hierarchy.
 
@@ -55,7 +55,7 @@ class MemoryProfile:
             raise ValueError("base CPI must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class SegmentResult:
     """What happened during one integrated run segment."""
 
@@ -78,6 +78,10 @@ class SharedCache:
     thread objects).  Occupancies are floats in bytes; the invariant
     ``sum(occupancy) <= capacity`` always holds.
     """
+
+    __slots__ = (
+        "capacity_bytes", "line_bytes", "reuse_exponent", "_occupancy", "_total",
+    )
 
     def __init__(
         self,
@@ -224,22 +228,51 @@ def integrate_duration(
     occupancy as the working set warms.  Sub-stepping captures the
     warm-up curve: the first sub-steps run miss-heavy and the later ones
     at the warmed speed.
+
+    This is the hottest arithmetic in the whole simulator (it runs at
+    every segment boundary), so the bodies of :meth:`SharedCache.
+    hit_probability` and :func:`_per_instruction_ns` are inlined below.
+    The float operations and their order are kept exactly identical to
+    those helpers — the golden-shape tests require bit-for-bit equal
+    results.
     """
     result = SegmentResult()
     if duration_ns <= 0:
         return result
     dt = duration_ns / substeps
+    wss = profile.wss_bytes
+    ref_rate = profile.llc_ref_rate
+    base_cpi = profile.base_cpi_ns
+    exponent = cache.reuse_exponent
+    line_bytes = cache.line_bytes
+    occupancy = cache._occupancy
+    insert = cache.insert
+    instructions_total = 0.0
+    refs_total = 0.0
+    misses_total = 0.0
+    elapsed_total = 0.0
     for _ in range(substeps):
-        p_hit = cache.hit_probability(actor, profile.wss_bytes)
-        per_instr = _per_instruction_ns(profile, p_hit, hit_ns, miss_ns)
+        if wss <= 0:
+            p_hit = 1.0
+        else:
+            fraction = min(1.0, occupancy.get(actor, 0.0) / float(wss))
+            p_hit = fraction ** exponent
+        per_instr = base_cpi + ref_rate * (
+            p_hit * hit_ns + (1.0 - p_hit) * miss_ns
+        )
         instructions = dt / per_instr
-        refs = instructions * profile.llc_ref_rate
+        refs = instructions * ref_rate
         misses = refs * (1.0 - p_hit)
-        cache.insert(actor, misses * cache.line_bytes, profile.wss_bytes)
-        result.instructions += instructions
-        result.llc_refs += refs
-        result.llc_misses += misses
-        result.elapsed_ns += dt
+        if misses > 0.0:
+            insert(actor, misses * line_bytes, wss)
+        instructions_total += instructions
+        refs_total += refs
+        misses_total += misses
+        elapsed_total += dt
+    result.instructions = instructions_total
+    result.llc_refs = refs_total
+    result.llc_misses = misses_total
+    result.elapsed_ns = elapsed_total
     return result
 
 
@@ -262,12 +295,27 @@ def integrate_instructions(
     if instructions <= 0:
         return result
     chunk = instructions / substeps
+    wss = profile.wss_bytes
+    ref_rate = profile.llc_ref_rate
+    base_cpi = profile.base_cpi_ns
+    exponent = cache.reuse_exponent
+    line_bytes = cache.line_bytes
+    occupancy = cache._occupancy
+    insert = cache.insert
     for _ in range(substeps):
-        p_hit = cache.hit_probability(actor, profile.wss_bytes)
-        per_instr = _per_instruction_ns(profile, p_hit, hit_ns, miss_ns)
-        refs = chunk * profile.llc_ref_rate
+        # same inlined hit/cost math as integrate_duration (see there)
+        if wss <= 0:
+            p_hit = 1.0
+        else:
+            fraction = min(1.0, occupancy.get(actor, 0.0) / float(wss))
+            p_hit = fraction ** exponent
+        per_instr = base_cpi + ref_rate * (
+            p_hit * hit_ns + (1.0 - p_hit) * miss_ns
+        )
+        refs = chunk * ref_rate
         misses = refs * (1.0 - p_hit)
-        cache.insert(actor, misses * cache.line_bytes, profile.wss_bytes)
+        if misses > 0.0:
+            insert(actor, misses * line_bytes, wss)
         result.instructions += chunk
         result.llc_refs += refs
         result.llc_misses += misses
@@ -289,8 +337,16 @@ def estimate_duration_ns(
     under-estimates cold-cache bursts slightly; callers re-evaluate at
     every segment boundary so the error never accumulates.
     """
-    p_hit = cache.hit_probability(actor, profile.wss_bytes)
-    return instructions * _per_instruction_ns(profile, p_hit, hit_ns, miss_ns)
+    wss = profile.wss_bytes
+    if wss <= 0:
+        p_hit = 1.0
+    else:
+        fraction = min(1.0, cache._occupancy.get(actor, 0.0) / float(wss))
+        p_hit = fraction ** cache.reuse_exponent
+    return instructions * (
+        profile.base_cpi_ns
+        + profile.llc_ref_rate * (p_hit * hit_ns + (1.0 - p_hit) * miss_ns)
+    )
 
 
 __all__ = [

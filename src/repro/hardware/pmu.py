@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.hardware.cache import SegmentResult
 
 
-@dataclass
+@dataclass(slots=True)
 class PmuSnapshot:
     """A point-in-time copy of the free-running counters."""
 
@@ -25,6 +25,8 @@ class PmuSnapshot:
 
 class PmuCounters:
     """Free-running counters; deltas are computed from snapshots."""
+
+    __slots__ = ("instructions", "llc_refs", "llc_misses")
 
     def __init__(self) -> None:
         self.instructions = 0.0

@@ -51,12 +51,23 @@ class CreditParams:
 
 
 class RunQueue:
-    """Priority run queue: BOOST, then UNDER, then OVER; FIFO within."""
+    """Priority run queue: BOOST, then UNDER, then OVER; FIFO within.
+
+    The three class queues live in a fixed tuple ordered by priority so
+    the per-dispatch scans (``pop_best``/``best_priority``/``__len__``)
+    are plain tuple walks — iterating the ``Priority`` enum on every
+    call showed up in the small-quantum profile.
+    """
+
+    __slots__ = ("_queues", "_ordered")
 
     def __init__(self) -> None:
         self._queues: dict[Priority, deque[VCpu]] = {
             priority: deque() for priority in Priority
         }
+        self._ordered: tuple[tuple[Priority, deque[VCpu]], ...] = tuple(
+            (priority, self._queues[priority]) for priority in Priority
+        )
 
     def push(self, vcpu: VCpu, front: bool = False) -> None:
         queue = self._queues[vcpu.priority]
@@ -66,14 +77,13 @@ class RunQueue:
             queue.append(vcpu)
 
     def pop_best(self) -> Optional[VCpu]:
-        for priority in Priority:
-            queue = self._queues[priority]
+        for _, queue in self._ordered:
             if queue:
                 return queue.popleft()
         return None
 
     def remove(self, vcpu: VCpu) -> bool:
-        for queue in self._queues.values():
+        for _, queue in self._ordered:
             try:
                 queue.remove(vcpu)
                 return True
@@ -82,15 +92,15 @@ class RunQueue:
         return False
 
     def best_priority(self) -> Optional[Priority]:
-        for priority in Priority:
-            if self._queues[priority]:
+        for priority, queue in self._ordered:
+            if queue:
                 return priority
         return None
 
     def drain(self) -> list[VCpu]:
         """Remove and return every queued vCPU."""
         drained: list[VCpu] = []
-        for queue in self._queues.values():
+        for _, queue in self._ordered:
             drained.extend(queue)
             queue.clear()
         return drained
@@ -109,11 +119,12 @@ class RunQueue:
             self.push(vcpu)
 
     def __len__(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+        queues = self._ordered
+        return len(queues[0][1]) + len(queues[1][1]) + len(queues[2][1])
 
     def __iter__(self):
-        for priority in Priority:
-            yield from self._queues[priority]
+        for _, queue in self._ordered:
+            yield from queue
 
 
 class CreditScheduler:
@@ -149,14 +160,25 @@ class CreditScheduler:
         pool = vcpu.pool
         if pool is None or not pool.pcpus:
             raise RuntimeError(f"{vcpu!r} has no schedulable pool")
-        contexts = [self.machine.contexts[p] for p in pool.pcpus]
-
-        def key(ctx: "PCpuContext") -> tuple:
-            idle = 0 if ctx.current is None else 1
-            affinity = 0 if ctx.pcpu is vcpu.last_pcpu else 1
-            return (idle, len(ctx.runq), affinity, ctx.pcpu.cpu_id)
-
-        return min(contexts, key=key)
+        # single pass, no per-call list or closure; `<` keeps the first
+        # minimum exactly like min() did
+        contexts = self.machine.contexts
+        last = vcpu.last_pcpu
+        best: Optional["PCpuContext"] = None
+        best_key: Optional[tuple] = None
+        for pcpu in pool.pcpus:
+            ctx = contexts[pcpu]
+            key = (
+                0 if ctx.current is None else 1,
+                len(ctx.runq),
+                0 if pcpu is last else 1,
+                pcpu.cpu_id,
+            )
+            if best_key is None or key < best_key:
+                best = ctx
+                best_key = key
+        assert best is not None
+        return best
 
     # ------------------------------------------------------------------
     # run-queue events
@@ -178,19 +200,30 @@ class CreditScheduler:
         local = ctx.runq.pop_best()
         if local is not None and local.priority < Priority.OVER:
             return local
-        peers = [
-            self.machine.contexts[p]
-            for p in ctx.pool.pcpus
-            if p is not ctx.pcpu
-        ]
-        donors = [
-            p
-            for p in peers
-            if p.runq.best_priority() is not None
-            and p.runq.best_priority() < Priority.OVER
-        ]
-        if donors:
-            donor = max(donors, key=lambda p: len(p.runq))
+        # one pass over the pool siblings finds both the best UNDER/BOOST
+        # donor and the longest busy queue; strict `>` keeps the first
+        # maximum in pool order, exactly like the max() calls it replaces
+        contexts = self.machine.contexts
+        own = ctx.pcpu
+        donor: Optional["PCpuContext"] = None
+        donor_len = -1
+        busy: Optional["PCpuContext"] = None
+        busy_len = -1
+        for pcpu in ctx.pool.pcpus:
+            if pcpu is own:
+                continue
+            peer = contexts[pcpu]
+            queued = len(peer.runq)
+            if not queued:
+                continue
+            if queued > busy_len:
+                busy = peer
+                busy_len = queued
+            best = peer.runq.best_priority()
+            if best is not None and best < Priority.OVER and queued > donor_len:
+                donor = peer
+                donor_len = queued
+        if donor is not None:
             stolen = donor.runq.pop_best()
             assert stolen is not None
             stolen.steals += 1
@@ -199,11 +232,9 @@ class CreditScheduler:
             return stolen
         if local is not None:
             return local
-        busy = [p for p in peers if len(p.runq)]
-        if not busy:
+        if busy is None:
             return None
-        donor = max(busy, key=lambda p: len(p.runq))
-        stolen = donor.runq.pop_best()
+        stolen = busy.runq.pop_best()
         if stolen is not None:
             stolen.steals += 1
         return stolen

@@ -56,7 +56,9 @@ _MIN_COMPLETION_DELAY_NS = 200
 class PCpuContext:
     """Scheduling state the hypervisor keeps per physical core."""
 
-    __slots__ = ("pcpu", "pool", "current", "runq", "tick_event", "offline")
+    __slots__ = (
+        "pcpu", "pool", "current", "runq", "tick_event", "tick_fn", "offline",
+    )
 
     def __init__(self, pcpu: PCpu, pool: CpuPool):
         self.pcpu = pcpu
@@ -65,6 +67,9 @@ class PCpuContext:
         self.runq = RunQueue()
         #: the pending 10 ms tick, cancelled while the pCPU is offline
         self.tick_event = None
+        #: the tick callback, built once — re-arming a tick every 10 ms
+        #: must not allocate a fresh closure each time
+        self.tick_fn = None
         self.offline = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -273,7 +278,8 @@ class Machine:
         else:
             vcpu.priority = self.scheduler.priority_for(vcpu)
         ctx = self.scheduler.enqueue(vcpu, front=vcpu.priority == Priority.BOOST)
-        self.trace.emit(self.sim.now, "wake", vcpu=vcpu.name, boost=vcpu.priority == Priority.BOOST)
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "wake", vcpu=vcpu.name, boost=vcpu.priority == Priority.BOOST)
         self._kick(ctx)
 
     def _kick(self, ctx: PCpuContext) -> None:
@@ -298,7 +304,8 @@ class Machine:
             current.segment_kind = None
             ctx.current = None
             current.priority = self.scheduler.priority_for(current)
-            self.trace.emit(self.sim.now, "desched", vcpu=current.name)
+            if self.trace.enabled:
+                self.trace.emit(self.sim.now, "desched", vcpu=current.name)
             if current.throttled:
                 self._parked.append(current)
             else:
@@ -319,16 +326,18 @@ class Machine:
             quantum, lambda: self._on_quantum_expire(ctx, vcpu), "quantum"
         )
         vcpu.segment_start = self.sim.now
-        self.trace.emit(
-            self.sim.now, "dispatch", vcpu=vcpu.name, pcpu=ctx.pcpu.cpu_id, quantum=quantum
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now, "dispatch", vcpu=vcpu.name, pcpu=ctx.pcpu.cpu_id, quantum=quantum
+            )
         self._start_segment(vcpu)
 
     def _on_quantum_expire(self, ctx: PCpuContext, vcpu: VCpu) -> None:
         if ctx.current is not vcpu:  # stale event
             return
         vcpu.exhausted_last_quantum = True
-        self.trace.emit(self.sim.now, "preempt", vcpu=vcpu.name)
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "preempt", vcpu=vcpu.name)
         self._reschedule(ctx)
 
     def _deschedule_current(self, ctx: PCpuContext) -> Optional[VCpu]:
@@ -348,7 +357,8 @@ class Machine:
         current.pcpu = None
         current.segment_kind = None
         ctx.current = None
-        self.trace.emit(self.sim.now, "desched", vcpu=current.name)
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "desched", vcpu=current.name)
         return current
 
     def _block_vcpu(self, vcpu: VCpu) -> None:
@@ -363,7 +373,8 @@ class Machine:
         vcpu.segment_kind = None
         vcpu.current_thread = None
         ctx.current = None
-        self.trace.emit(self.sim.now, "block", vcpu=vcpu.name)
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "block", vcpu=vcpu.name)
         self._reschedule(ctx)
 
     def _cancel_events(self, vcpu: VCpu) -> None:
@@ -679,9 +690,10 @@ class Machine:
     # periodic machinery
     # ==================================================================
     def _schedule_tick(self, ctx: PCpuContext) -> None:
-        ctx.tick_event = self.sim.after(
-            self.params.tick_ns, lambda: self._on_tick(ctx), "tick"
-        )
+        fn = ctx.tick_fn
+        if fn is None:
+            fn = ctx.tick_fn = lambda: self._on_tick(ctx)
+        ctx.tick_event = self.sim.after(self.params.tick_ns, fn, "tick")
 
     def _on_tick(self, ctx: PCpuContext) -> None:
         if ctx.offline:  # raced with offline_pcpu; do not re-arm

@@ -1,0 +1,19 @@
+"""Profiling helpers for finding simulator hot spots.
+
+The experiments CLI exposes this as ``--profile`` (see ``python -m
+repro.experiments --help``); library users wrap any code region::
+
+    from repro.perf import capture
+
+    with capture() as prof:
+        machine.run(500 * MS)
+    print(prof.report(limit=20))
+
+The capture is plain :mod:`cProfile`/:mod:`pstats` from the standard
+library — no third-party dependency — so it works in every environment
+the simulator does.
+"""
+
+from repro.perf.profiler import ProfileCapture, capture
+
+__all__ = ["ProfileCapture", "capture"]

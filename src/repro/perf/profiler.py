@@ -1,0 +1,75 @@
+"""cProfile/pstats capture with one-call reporting.
+
+Kept deliberately small: a context manager that records a profile and a
+:class:`ProfileCapture` that can render a cumulative-time table, dump
+the binary profile for ``snakeviz``/``pstats`` post-processing, or
+dispatch on a destination string (the CLI contract of ``--profile``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ProfileCapture:
+    """A finished (or in-flight) cProfile recording."""
+
+    def __init__(self) -> None:
+        self._profile = cProfile.Profile()
+
+    # -- recording -----------------------------------------------------
+    def start(self) -> None:
+        self._profile.enable()
+
+    def stop(self) -> None:
+        self._profile.disable()
+
+    # -- reporting -----------------------------------------------------
+    def stats(self, sort: str = "cumulative") -> pstats.Stats:
+        return pstats.Stats(self._profile).sort_stats(sort)
+
+    def report(self, sort: str = "cumulative", limit: int = 30) -> str:
+        """A pstats table as text, ``limit`` rows, sorted by ``sort``."""
+        buffer = io.StringIO()
+        stats = pstats.Stats(self._profile, stream=buffer)
+        stats.sort_stats(sort).print_stats(limit)
+        return buffer.getvalue()
+
+    def dump(self, path: str) -> None:
+        """Binary profile for ``python -m pstats`` / snakeviz."""
+        self._profile.dump_stats(path)
+
+    def write(self, dest: str, sort: str = "cumulative", limit: int = 30) -> None:
+        """Write the capture to ``dest`` per the CLI contract.
+
+        ``"-"`` prints the text table to stderr (stdout is reserved for
+        experiment output, which must stay byte-identical with and
+        without profiling); a path ending in ``.prof`` gets the binary
+        dump; any other path gets the text table.
+        """
+        if dest == "-":
+            sys.stderr.write(self.report(sort=sort, limit=limit))
+        elif dest.endswith(".prof"):
+            self.dump(dest)
+        else:
+            with open(dest, "w", encoding="utf-8") as handle:
+                handle.write(self.report(sort=sort, limit=limit))
+
+
+@contextmanager
+def capture() -> Iterator[ProfileCapture]:
+    """Profile the ``with`` body; the capture is readable after exit."""
+    cap = ProfileCapture()
+    cap.start()
+    try:
+        yield cap
+    finally:
+        cap.stop()
+
+
+__all__ = ["ProfileCapture", "capture"]

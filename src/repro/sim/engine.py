@@ -10,12 +10,49 @@ whole-system runs deterministic.
 Events are cancellable: cancelling marks the event dead and the loop
 skips it (lazy deletion, the standard heapq idiom), which is how the
 scheduler retracts a pending quantum-expiry when a vCPU blocks early.
+
+Two interchangeable kernels implement the queue (select with the
+``kernel=`` constructor argument or the ``REPRO_SIM_KERNEL`` environment
+variable; see DESIGN.md §9):
+
+``"heap"``
+    A single binary heap of ``(time, seq, event)`` tuples.  Tuple
+    entries keep every comparison at C level — the previous kernel
+    heapified :class:`Event` objects and paid a Python ``__lt__`` call
+    per comparison.
+
+``"wheel"`` (the default)
+    The same tuple heap plus a timer-wheel fast lane for the near
+    future.  The dominant event classes — periodic scheduler ticks,
+    quantum expiries, and 30 ms monitoring samples — land on a small
+    set of fixed cadences well inside the wheel horizon, so they are
+    appended to a calendar slot in O(1) and only migrate to the heap
+    when the clock reaches their slot; events cancelled before their
+    slot is flushed never touch the heap at all.  Aperiodic or
+    far-future events fall back to the heap.  Ordering is unchanged:
+    a slot is flushed into the heap *before* the loop pops any event
+    at or beyond the slot's lower edge, so the heap remains the single
+    totally-ordered pop source and the ``(time, seq)`` fire order is
+    bit-for-bit identical to the heap kernel (the differential suite
+    in ``tests/test_engine_equivalence.py`` locks this down).
 """
 
 from __future__ import annotations
 
-import heapq
+import os
+from heapq import heappop, heappush
 from typing import Callable, Optional
+
+#: Width of one timer-wheel slot.  1 ms divides every periodic cadence
+#: the hypervisor uses (1–30 ms quanta, 10 ms ticks, 30 ms accounting
+#: and vTRS sampling) and keeps sub-ms completion events one slot away.
+_WHEEL_SLOT_NS = 1_000_000
+
+#: Number of wheel slots; horizon = slots * slot width = 64 ms, which
+#: covers every periodic cadence from `now`.
+_WHEEL_SLOTS = 64
+
+_KERNELS = ("heap", "wheel")
 
 
 class SimulationError(RuntimeError):
@@ -48,6 +85,9 @@ class Event:
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
+        # Queue entries are (time, seq, event) tuples whose unique seq
+        # means this is never reached by the kernel; kept so external
+        # code can still sort Event objects.
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -58,32 +98,116 @@ class Event:
 class Simulator:
     """Deterministic event loop over an integer-nanosecond virtual clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, kernel: Optional[str] = None) -> None:
+        if kernel is None:
+            kernel = os.environ.get("REPRO_SIM_KERNEL", "wheel")
+        if kernel not in _KERNELS:
+            raise ValueError(
+                f"unknown simulator kernel {kernel!r} (expected one of {_KERNELS})"
+            )
+        self.kernel = kernel
         self.now: int = 0
-        self._queue: list[Event] = []
+        #: (time, seq, Event) tuples — C-level comparisons, no __lt__
+        self._heap: list[tuple[int, int, Event]] = []
         self._seq: int = 0
         self._events_fired: int = 0
         self._running: bool = False
+        # -- timer wheel (unused but allocated under kernel="heap") ----
+        self._use_wheel = kernel == "wheel"
+        self._slot_ns = _WHEEL_SLOT_NS
+        self._wheel: list[list[tuple[int, int, Event]]] = [
+            [] for _ in range(_WHEEL_SLOTS)
+        ]
+        self._horizon_ns = _WHEEL_SLOTS * _WHEEL_SLOT_NS
+        #: entries currently parked in wheel slots (cancelled included)
+        self._wheel_count = 0
+        #: lower edge of the first unflushed slot; every pending event
+        #: with ``time < _flushed_until`` is guaranteed heap-resident,
+        #: and the wheel only holds times in
+        #: [_flushed_until, _flushed_until + _horizon_ns)
+        self._flushed_until = 0
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def at(self, time: int, fn: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``fn`` to run at absolute virtual time ``time``."""
-        if time < self.now:
+        """Schedule ``fn`` to run at absolute virtual time ``time``.
+
+        ``time`` must be integral: the clock is integer nanoseconds, and
+        silently truncating a float would let two components desync on
+        sub-nanosecond drift.  Integral floats (``5.0``) are accepted.
+        """
+        itime = int(time)
+        if itime != time:
             raise SimulationError(
-                f"cannot schedule {label!r} at {time} < now {self.now}"
+                f"non-integral time {time!r} for {label!r} "
+                "(the clock is integer nanoseconds)"
             )
-        event = Event(int(time), self._seq, fn, label)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        if itime < self.now:
+            raise SimulationError(
+                f"cannot schedule {label!r} at {itime} < now {self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(itime, seq, fn, label)
+        if self._use_wheel and 0 <= itime - self._flushed_until < self._horizon_ns:
+            self._wheel[(itime // self._slot_ns) % _WHEEL_SLOTS].append(
+                (itime, seq, event)
+            )
+            self._wheel_count += 1
+        else:
+            heappush(self._heap, (itime, seq, event))
         return event
 
     def after(self, delay: int, fn: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``fn`` to run ``delay`` nanoseconds from now."""
+        """Schedule ``fn`` to run ``delay`` nanoseconds from now.
+
+        Like :meth:`at`, rejects non-integral delays instead of
+        truncating them.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for {label!r}")
-        return self.at(self.now + int(delay), fn, label)
+        idelay = int(delay)
+        if idelay != delay:
+            raise SimulationError(
+                f"non-integral delay {delay!r} for {label!r} "
+                "(the clock is integer nanoseconds)"
+            )
+        return self.at(self.now + idelay, fn, label)
+
+    # ------------------------------------------------------------------
+    # the timer wheel
+    # ------------------------------------------------------------------
+    def _flush_to(self, limit: int) -> None:
+        """Make every wheel event with ``time <= limit`` heap-resident.
+
+        Advances ``_flushed_until`` one slot at a time; entries whose
+        event was cancelled while parked are dropped without ever
+        touching the heap.
+        """
+        slot_ns = self._slot_ns
+        fu = self._flushed_until
+        count = self._wheel_count
+        if count:
+            heap = self._heap
+            wheel = self._wheel
+            while fu <= limit:
+                slot = wheel[(fu // slot_ns) % _WHEEL_SLOTS]
+                if slot:
+                    count -= len(slot)
+                    for entry in slot:
+                        if not entry[2].cancelled:
+                            heappush(heap, entry)
+                    slot.clear()
+                    if not count:
+                        fu += slot_ns
+                        break
+                fu += slot_ns
+            self._wheel_count = count
+        if not count and fu <= limit:
+            # nothing left to move: jump the frontier past `limit`
+            fu = (limit // slot_ns + 1) * slot_ns
+        self._flushed_until = fu
 
     # ------------------------------------------------------------------
     # running
@@ -100,32 +224,80 @@ class Simulator:
         if self._running:
             raise SimulationError("re-entrant run_until")
         self._running = True
+        # hot loop: heap ops and the fired counter live in locals; the
+        # counter is synced back in the finally block so events_fired is
+        # exact on every exit path (including a raising callback)
+        fired = self._events_fired
+        heap = self._heap
+        pop = heappop
         try:
-            while self._queue and self._queue[0].time <= end_time:
-                event = heapq.heappop(self._queue)
-                if event.cancelled:
-                    continue
-                self.now = event.time
-                self._events_fired += 1
-                event.fn()
+            if not self._use_wheel:
+                while heap and heap[0][0] <= end_time:
+                    time, _, event = pop(heap)
+                    if event.cancelled:
+                        continue
+                    self.now = time
+                    fired += 1
+                    event.fn()
+            else:
+                while True:
+                    # fire heap events below both the horizon already
+                    # flushed out of the wheel and the end time
+                    flushed_until = self._flushed_until
+                    while heap:
+                        time = heap[0][0]
+                        if time > end_time or time >= flushed_until:
+                            break
+                        _, _, event = pop(heap)
+                        if event.cancelled:
+                            continue
+                        self.now = time
+                        fired += 1
+                        event.fn()
+                        flushed_until = self._flushed_until
+                    # advance the wheel frontier to the next needed time
+                    if flushed_until > end_time:
+                        break
+                    head = heap[0][0] if heap else None
+                    if self._wheel_count == 0 and (
+                        head is None or head > end_time
+                    ):
+                        break
+                    limit = end_time if head is None else min(end_time, head)
+                    self._flush_to(limit)
             self.now = end_time
         finally:
+            self._events_fired = fired
             self._running = False
 
     def step(self) -> Optional[Event]:
         """Fire the single next pending event; return it (None if empty).
 
-        Test helper — production code uses :meth:`run_until`.
+        Test helper — production code uses :meth:`run_until`.  Like
+        :meth:`run_until` it refuses to re-enter a running loop: a
+        callback stepping the engine would corrupt the clock invariant.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_fired += 1
-            event.fn()
-            return event
-        return None
+        if self._running:
+            raise SimulationError("re-entrant step")
+        self._running = True
+        try:
+            while True:
+                nxt = self.peek_time()
+                if nxt is None:
+                    return None
+                if self._use_wheel and self._flushed_until <= nxt:
+                    self._flush_to(nxt)
+                while self._heap:
+                    time, _, event = heappop(self._heap)
+                    if event.cancelled:
+                        continue
+                    self.now = time
+                    self._events_fired += 1
+                    event.fn()
+                    return event
+                # every heap entry was cancelled: re-examine the wheel
+        finally:
+            self._running = False
 
     # ------------------------------------------------------------------
     # introspection
@@ -133,7 +305,12 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        live = sum(1 for _, _, e in self._heap if not e.cancelled)
+        if self._wheel_count:
+            live += sum(
+                1 for slot in self._wheel for _, _, e in slot if not e.cancelled
+            )
+        return live
 
     @property
     def events_fired(self) -> int:
@@ -142,12 +319,35 @@ class Simulator:
 
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+        best: Optional[int] = heap[0][0] if heap else None
+        if self._wheel_count:
+            # slots are examined in time order, so the first slot with a
+            # live entry holds the wheel's minimum
+            slot_ns = self._slot_ns
+            base = self._flushed_until
+            wheel = self._wheel
+            for _ in range(_WHEEL_SLOTS):
+                if best is not None and base > best:
+                    break
+                slot = wheel[(base // slot_ns) % _WHEEL_SLOTS]
+                slot_best: Optional[int] = None
+                for time, _, event in slot:
+                    if not event.cancelled and (
+                        slot_best is None or time < slot_best
+                    ):
+                        slot_best = time
+                if slot_best is not None:
+                    if best is None or slot_best < best:
+                        best = slot_best
+                    break
+                base += slot_ns
+        return best
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator now={self.now} pending={self.pending}>"
+        return f"<Simulator now={self.now} pending={self.pending} kernel={self.kernel}>"
 
 
 def noop() -> None:

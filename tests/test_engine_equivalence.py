@@ -1,0 +1,375 @@
+"""Differential equivalence: optimized kernels vs a naive reference.
+
+The fast-path kernels in :mod:`repro.sim.engine` (tuple heap, timer
+wheel) must be *observationally identical* to the obviously-correct
+scheduler: a sorted list popped from the front.  Hypothesis generates
+schedules of ``at``/``after``/``cancel``/``run_until``/``step``
+operations (including callbacks that schedule follow-up events
+mid-run), and every kernel must produce the same fire order, fire
+times, clock positions, ``peek_time`` answers and ``events_fired``
+counts as the reference.
+
+Two golden end-to-end checks extend the guarantee to the full system:
+a fig6 scenario cell and a churn story must export byte-identical
+metrics whether the machine runs on the heap-only or the timer-wheel
+kernel.
+
+The file also carries the regression tests for the kernel rework's
+bug-fix satellites: ``step()`` re-entrancy, float truncation in
+``at``/``after``, and the wheel's cancellation edge cases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from bisect import insort
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.units import MS, US
+
+KERNELS = ("heap", "wheel")
+
+
+# ----------------------------------------------------------------------
+# the reference scheduler
+# ----------------------------------------------------------------------
+class ReferenceSimulator:
+    """Sorted-list event loop — slow, simple, obviously correct.
+
+    Mirrors the public surface of :class:`Simulator` that the
+    differential driver exercises.  Entries are kept sorted by
+    ``(time, seq)`` and popped from the front; cancellation is checked
+    at fire time.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.events_fired = 0
+        self._entries: list[tuple[int, int, Event]] = []
+        self._seq = 0
+
+    def at(self, time, fn, label=""):
+        itime = int(time)
+        if itime != time:
+            raise SimulationError(f"non-integral time {time!r}")
+        if itime < self.now:
+            raise SimulationError(f"{itime} < now {self.now}")
+        event = Event(itime, self._seq, fn, label)
+        insort(self._entries, (itime, self._seq, event))
+        self._seq += 1
+        return event
+
+    def after(self, delay, fn, label=""):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        idelay = int(delay)
+        if idelay != delay:
+            raise SimulationError(f"non-integral delay {delay!r}")
+        return self.at(self.now + idelay, fn, label)
+
+    def run_until(self, end_time: int) -> None:
+        if end_time < self.now:
+            raise SimulationError("run_until in the past")
+        while self._entries and self._entries[0][0] <= end_time:
+            time, _, event = self._entries.pop(0)
+            if event.cancelled:
+                continue
+            self.now = time
+            self.events_fired += 1
+            event.fn()
+        self.now = end_time
+
+    def step(self):
+        while self._entries:
+            time, _, event = self._entries.pop(0)
+            if event.cancelled:
+                continue
+            self.now = time
+            self.events_fired += 1
+            event.fn()
+            return event
+        return None
+
+    def peek_time(self):
+        for time, _, event in self._entries:
+            if not event.cancelled:
+                return time
+        return None
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for _, _, e in self._entries if not e.cancelled)
+
+
+# ----------------------------------------------------------------------
+# differential driver
+# ----------------------------------------------------------------------
+def _apply_schedule(sim, ops) -> list:
+    """Run one op schedule against ``sim``; return the observation trace."""
+    trace: list = []
+    handles: list[Event] = []
+
+    def logger(label):
+        def fn():
+            trace.append(("fire", sim.now, label))
+
+        return fn
+
+    def chained(label, follow_delay):
+        def fn():
+            trace.append(("fire", sim.now, label))
+            sim.after(follow_delay, logger(label + "+"), label + "+")
+
+        return fn
+
+    for op in ops:
+        kind = op[0]
+        if kind == "at":
+            label = f"e{len(handles)}"
+            handles.append(sim.at(sim.now + op[1], logger(label), label))
+        elif kind == "after":
+            label = f"e{len(handles)}"
+            handles.append(sim.after(op[1], logger(label), label))
+        elif kind == "chain":
+            label = f"e{len(handles)}"
+            handles.append(
+                sim.at(sim.now + op[1], chained(label, op[2]), label)
+            )
+        elif kind == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+        elif kind == "run":
+            sim.run_until(sim.now + op[1])
+        elif kind == "step":
+            event = sim.step()
+            trace.append(("step", sim.now, None if event is None else event.label))
+        trace.append(("state", sim.now, sim.peek_time(), sim.pending))
+    # drain everything still pending (chains included) and settle
+    sim.run_until(sim.now + 500 * MS)
+    trace.append(("end", sim.now, sim.events_fired, sim.pending))
+    return trace
+
+
+#: deltas mix sub-slot, multi-slot, and beyond-the-64ms-horizon times so
+#: schedules cross every wheel routing branch
+_DELTA = st.one_of(
+    st.integers(min_value=0, max_value=3 * US),
+    st.integers(min_value=0, max_value=5 * MS),
+    st.integers(min_value=0, max_value=150 * MS),
+)
+
+_OP = st.one_of(
+    st.tuples(st.just("at"), _DELTA),
+    st.tuples(st.just("after"), _DELTA),
+    st.tuples(st.just("chain"), _DELTA, _DELTA),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=63)),
+    st.tuples(st.just("run"), _DELTA),
+    st.tuples(st.just("step")),
+)
+
+
+@settings(max_examples=200)
+@given(ops=st.lists(_OP, max_size=40))
+def test_kernels_match_reference(ops):
+    """Both kernels trace identically to the sorted-list reference."""
+    reference = _apply_schedule(ReferenceSimulator(), ops)
+    for kernel in KERNELS:
+        assert _apply_schedule(Simulator(kernel=kernel), ops) == reference, kernel
+
+
+@settings(max_examples=50)
+@given(
+    ops=st.lists(_OP, max_size=40),
+    checkpoints=st.lists(st.integers(min_value=0, max_value=40 * MS), max_size=4),
+)
+def test_kernels_match_reference_with_chopped_runs(ops, checkpoints):
+    """Equivalence holds when runs stop at arbitrary mid-wheel times."""
+    ops = list(ops)
+    for point in checkpoints:
+        ops.append(("run", point))
+    reference = _apply_schedule(ReferenceSimulator(), ops)
+    for kernel in KERNELS:
+        assert _apply_schedule(Simulator(kernel=kernel), ops) == reference, kernel
+
+
+# ----------------------------------------------------------------------
+# bug-fix satellites: step() re-entrancy, float truncation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_step_rejects_reentrancy(kernel):
+    """A callback stepping the engine must fail loudly, not corrupt time."""
+    sim = Simulator(kernel=kernel)
+    failures: list[SimulationError] = []
+
+    def reenter():
+        try:
+            sim.step()
+        except SimulationError as exc:
+            failures.append(exc)
+
+    sim.at(5, reenter)
+    sim.step()
+    assert len(failures) == 1
+    assert "re-entrant" in str(failures[0])
+    # the guard is released: stepping afterwards works normally
+    sim.at(10, lambda: None)
+    event = sim.step()
+    assert event is not None and sim.now == 10
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_run_until_rejects_reentrancy(kernel):
+    sim = Simulator(kernel=kernel)
+    failures: list[SimulationError] = []
+
+    def reenter():
+        try:
+            sim.run_until(sim.now + 5)
+        except SimulationError as exc:
+            failures.append(exc)
+
+    sim.at(1, reenter)
+    sim.run_until(10)
+    assert len(failures) == 1
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_at_and_after_reject_non_integral_times(kernel):
+    sim = Simulator(kernel=kernel)
+    with pytest.raises(SimulationError, match="non-integral"):
+        sim.at(1.5, lambda: None)
+    with pytest.raises(SimulationError, match="non-integral"):
+        sim.after(2.25, lambda: None)
+    # integral floats are fine and land on the integer clock
+    fired = []
+    sim.at(5.0, lambda: fired.append(sim.now))
+    sim.after(7.0, lambda: fired.append(sim.now))
+    sim.run_until(20)
+    assert fired == [5, 7]
+
+
+# ----------------------------------------------------------------------
+# wheel cancellation edge cases
+# ----------------------------------------------------------------------
+def test_wheel_cancel_then_reschedule_same_cadence():
+    sim = Simulator(kernel="wheel")
+    fired = []
+    first = sim.after(10 * MS, lambda: fired.append("old"), "old")
+    first.cancel()
+    sim.after(10 * MS, lambda: fired.append("new"), "new")
+    sim.run_until(20 * MS)
+    assert fired == ["new"]
+    assert sim.events_fired == 1
+
+
+def test_wheel_cancelled_slot_head_is_skipped():
+    sim = Simulator(kernel="wheel")
+    fired = []
+    head = sim.at(int(2.1 * MS), lambda: fired.append("head"), "head")
+    sim.at(int(2.7 * MS), lambda: fired.append("tail"), "tail")
+    head.cancel()
+    assert sim.peek_time() == int(2.7 * MS)
+    sim.run_until(3 * MS)
+    assert fired == ["tail"]
+
+
+def test_wheel_cancelled_entries_never_reach_the_heap():
+    sim = Simulator(kernel="wheel")
+    event = sim.after(5 * MS, lambda: None, "doomed")
+    event.cancel()
+    sim.run_until(10 * MS)
+    # dropped at slot flush, not lazily popped from the heap
+    assert sim._heap == []
+    assert sim.events_fired == 0
+
+
+def test_peek_time_sees_the_wheel_not_just_the_heap():
+    sim = Simulator(kernel="wheel")
+    sim.at(200 * MS, lambda: None, "far")  # beyond horizon -> heap
+    sim.at(3 * MS, lambda: None, "near")  # wheel slot
+    assert sim.peek_time() == 3 * MS
+    sim.run_until(5 * MS)
+    assert sim.peek_time() == 200 * MS
+
+
+def test_peek_time_skips_cancelled_wheel_entries():
+    sim = Simulator(kernel="wheel")
+    near = sim.at(3 * MS, lambda: None, "near")
+    sim.at(40 * MS, lambda: None, "later")
+    near.cancel()
+    assert sim.peek_time() == 40 * MS
+    assert sim.pending == 1
+
+
+def test_wheel_cancel_during_run_between_slots():
+    """An event cancelled by an earlier event in a prior slot never fires."""
+    sim = Simulator(kernel="wheel")
+    fired = []
+    victim = sim.at(7 * MS, lambda: fired.append("victim"), "victim")
+    sim.at(2 * MS, lambda: victim.cancel(), "killer")
+    sim.run_until(20 * MS)
+    assert fired == []
+    assert sim.events_fired == 1
+
+
+# ----------------------------------------------------------------------
+# golden end-to-end byte-identity across kernels
+# ----------------------------------------------------------------------
+def _fig6_cell_bytes(tmp_path, monkeypatch, kernel: str) -> bytes:
+    from repro.baselines import XenCredit
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenarios import SCENARIOS
+    from repro.metrics.export import scenario_rows, write_csv
+
+    monkeypatch.setenv("REPRO_SIM_KERNEL", kernel)
+    run = run_scenario(
+        SCENARIOS["S1"],
+        XenCredit(),
+        warmup_ns=200 * MS,
+        measure_ns=400 * MS,
+        seed=0,
+    )
+    path = tmp_path / f"fig6_{kernel}.csv"
+    write_csv(path, scenario_rows(run))
+    return path.read_bytes()
+
+
+@pytest.mark.slow
+def test_golden_fig6_cell_identical_across_kernels(tmp_path, monkeypatch):
+    heap = _fig6_cell_bytes(tmp_path, monkeypatch, "heap")
+    wheel = _fig6_cell_bytes(tmp_path, monkeypatch, "wheel")
+    assert heap == wheel
+
+
+def _churn_story_bytes(monkeypatch, kernel: str) -> bytes:
+    from repro.dynamics import ChurnTimeline, VmBoot, VmShutdown
+    from repro.experiments.churn import BASE, ChurnStory, run_churn_cell
+
+    monkeypatch.setenv("REPRO_SIM_KERNEL", kernel)
+    story = ChurnStory(
+        "tiny",
+        BASE,
+        ChurnTimeline(
+            (
+                VmBoot(100 * MS, name="dyn0", mode="io"),
+                VmShutdown(200 * MS, name="mem0"),
+            )
+        ),
+    )
+    run = run_churn_cell(
+        story, "aql", warmup_ns=150 * MS, measure_ns=300 * MS, seed=0
+    )
+    payload = dataclasses.asdict(run)
+    return json.dumps(payload, sort_keys=True, default=repr).encode()
+
+
+@pytest.mark.slow
+def test_golden_churn_story_identical_across_kernels(monkeypatch):
+    heap = _churn_story_bytes(monkeypatch, "heap")
+    wheel = _churn_story_bytes(monkeypatch, "wheel")
+    assert heap == wheel
