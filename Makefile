@@ -3,13 +3,25 @@
 PYTHON ?= python3
 JOBS ?= 4
 
-.PHONY: install test bench bench-json bench-check figures sweep examples clean clean-cache
+.PHONY: install test lint bench bench-json bench-check figures sweep examples clean clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# static analysis: simlint (always — stdlib only), then ruff and mypy
+# when installed (CI installs both; config lives in pyproject.toml so
+# local and CI runs agree)
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro benchmarks
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else echo "lint: ruff not installed, skipping"; fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else echo "lint: mypy not installed, skipping"; fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

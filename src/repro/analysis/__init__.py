@@ -1,0 +1,48 @@
+"""repro.analysis — simlint, the determinism & hot-path audit.
+
+Static analysis tailored to this reproduction's invariants: every
+result rests on runs being pure functions of their seed (so the
+serial≡parallel≡cache-replay and heap≡wheel equivalences hold) and on
+the simulation hot path staying allocation-lean.  The rule battery
+(``repro.analysis.rules``) encodes those invariants; the engine
+(``repro.analysis.core``) runs them in one AST walk per file; the CLI
+(``python -m repro.analysis``) and ``tests/test_analysis_selfcheck.py``
+keep the tree clean.  DESIGN.md §10 documents the rule catalogue and
+the suppression policy.
+"""
+
+from repro.analysis.core import (
+    Analyzer,
+    ModuleContext,
+    Violation,
+    format_suppression,
+    module_name_for,
+    parse_suppressions,
+)
+from repro.analysis.report import exit_code, render_json, render_text
+from repro.analysis.rules import (
+    RULE_CLASSES,
+    RULE_INDEX,
+    Rule,
+    default_rules,
+    describe_rules,
+    get_rules,
+)
+
+__all__ = [
+    "Analyzer",
+    "ModuleContext",
+    "RULE_CLASSES",
+    "RULE_INDEX",
+    "Rule",
+    "Violation",
+    "default_rules",
+    "describe_rules",
+    "exit_code",
+    "format_suppression",
+    "get_rules",
+    "module_name_for",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,106 @@
+"""The simlint command line.
+
+    python -m repro.analysis [paths ...] [--format text|json]
+                             [--rule SIM001 ...] [--list-rules]
+
+With no paths, audits the default surface (``src/repro`` and
+``benchmarks`` relative to the working directory, whichever exist).
+Exit status: 0 clean, 1 violations, 2 usage error — the same contract
+``make lint``, the pre-commit hook and the CI job rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.core import Analyzer, iter_python_files
+from repro.analysis.report import exit_code, render_json, render_text
+from repro.analysis.rules import describe_rules, get_rules
+
+#: Audited when the CLI is invoked without path arguments.
+DEFAULT_SURFACE = ("src/repro", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="simlint: determinism & hot-path static analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to audit (default: src/repro benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="SIMnnn",
+        help="audit only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        rules = get_rules(args.rules)
+    except KeyError as exc:
+        print(f"simlint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for row in describe_rules(rules):
+            print(f"{row['rule']}  [{row['severity']}]  {row['description']}")
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        paths = [Path(entry) for entry in DEFAULT_SURFACE if Path(entry).exists()]
+        if not paths:
+            print(
+                "simlint: no paths given and no default surface found "
+                f"(looked for {', '.join(DEFAULT_SURFACE)})",
+                file=sys.stderr,
+            )
+            return 2
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        print(
+            f"simlint: no such path(s): {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    files = list(iter_python_files(paths))
+    analyzer = Analyzer(rules)
+    violations = []
+    for path in files:
+        violations.extend(analyzer.analyze_file(path))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+
+    if args.format == "json":
+        print(render_json(violations, files=len(files), rules=rules))
+    else:
+        print(render_text(violations, files=len(files)))
+    return exit_code(violations)
+
+
+__all__ = ["DEFAULT_SURFACE", "build_parser", "main"]

@@ -1,0 +1,63 @@
+"""Violation reporters: compiler-style text and machine-readable JSON.
+
+The JSON document is the CI contract (the ``static-analysis`` job and
+the seeded-violation acceptance test both parse it), so its shape is
+versioned::
+
+    {
+      "schema": 1,
+      "violations": [{"rule", "path", "line", "col", "severity", "message"}],
+      "counts": {"SIM001": 2, ...},        # only rules that fired
+      "checked_rules": [{"rule", "severity", "description"}],
+      "files": 42,
+      "exit": 1
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Optional, Sequence
+
+from repro.analysis.core import Violation
+from repro.analysis.rules import Rule, describe_rules
+
+REPORT_SCHEMA = 1
+
+
+def exit_code(violations: Sequence[Violation]) -> int:
+    """Non-zero iff any *error*-severity violation survived suppression."""
+    return 1 if any(v.severity == "error" for v in violations) else 0
+
+
+def render_text(violations: Sequence[Violation], files: int) -> str:
+    lines = [violation.render() for violation in violations]
+    if violations:
+        counts = Counter(v.rule_id for v in violations)
+        summary = ", ".join(f"{rule}×{n}" for rule, n in sorted(counts.items()))
+        lines.append(
+            f"simlint: {len(violations)} violation(s) in {files} file(s) [{summary}]"
+        )
+    else:
+        lines.append(f"simlint: clean ({files} file(s) checked)")
+    return "\n".join(lines)
+
+
+def render_json(
+    violations: Sequence[Violation],
+    files: int,
+    rules: Optional[Sequence[Rule]] = None,
+) -> str:
+    document = {
+        "schema": REPORT_SCHEMA,
+        "violations": [v.as_dict() for v in violations],
+        "counts": dict(sorted(Counter(v.rule_id for v in violations).items())),
+        "checked_rules": describe_rules(rules),
+        "files": files,
+        "exit": exit_code(violations),
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+__all__ = ["REPORT_SCHEMA", "exit_code", "render_json", "render_text"]

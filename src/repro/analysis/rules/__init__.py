@@ -1,0 +1,86 @@
+"""The simlint rule battery.
+
+Adding a rule (DESIGN.md §10 walks through a full example):
+
+1. create ``rules/<name>.py`` with a :class:`~repro.analysis.rules.base.Rule`
+   subclass — pick the next free ``SIMnnn`` id, scope it with
+   ``domains``/``allowlist`` (justify every allowlist entry in the
+   rule's docstring);
+2. register the class in :data:`RULE_CLASSES` below;
+3. add fixture snippets (positive, negative, suppressed) under
+   ``tests/analysis_fixtures/`` — the fixture-driven test picks them up
+   by filename, no test code needed;
+4. run the self-check (``make lint``); fix or justify whatever the new
+   rule finds in the existing tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.exceptions import SwallowedSimulationErrorRule
+from repro.analysis.rules.ordering import UnorderedIterationRule
+from repro.analysis.rules.rng import UnseededRngRule
+from repro.analysis.rules.simtime import SimTimeFloatRule
+from repro.analysis.rules.slots import MissingSlotsRule
+from repro.analysis.rules.wallclock import WallClockRule
+
+#: Every registered rule, in rule-id order.
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    WallClockRule,
+    UnseededRngRule,
+    UnorderedIterationRule,
+    SimTimeFloatRule,
+    MissingSlotsRule,
+    SwallowedSimulationErrorRule,
+)
+
+RULE_INDEX: dict[str, type[Rule]] = {cls.rule_id: cls for cls in RULE_CLASSES}
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of the full battery."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def get_rules(rule_ids: Optional[Iterable[str]] = None) -> list[Rule]:
+    """Instantiate ``rule_ids`` (or the full battery when None)."""
+    if rule_ids is None:
+        return default_rules()
+    selected: list[Rule] = []
+    unknown: list[str] = []
+    for rule_id in rule_ids:
+        cls = RULE_INDEX.get(rule_id.upper())
+        if cls is None:
+            unknown.append(rule_id)
+        else:
+            selected.append(cls())
+    if unknown:
+        known = ", ".join(sorted(RULE_INDEX))
+        raise KeyError(f"unknown rule id(s) {unknown!r}; known rules: {known}")
+    return selected
+
+
+def describe_rules(rules: Optional[Sequence[Rule]] = None) -> list[dict[str, str]]:
+    """Catalogue rows for ``--list-rules`` and the JSON report."""
+    if rules is None:
+        rules = default_rules()
+    return [
+        {
+            "rule": rule.rule_id,
+            "severity": rule.severity,
+            "description": rule.description,
+        }
+        for rule in rules
+    ]
+
+
+__all__ = [
+    "RULE_CLASSES",
+    "RULE_INDEX",
+    "Rule",
+    "default_rules",
+    "describe_rules",
+    "get_rules",
+]

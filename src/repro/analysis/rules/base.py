@@ -1,0 +1,156 @@
+"""Rule base class and the domain tables every rule scopes itself by.
+
+A rule is a small visitor: it declares the AST node types it wants
+(``interests``) and the dotted-module prefixes it audits (``domains``),
+and yields :class:`~repro.analysis.core.Violation` objects from
+``visit``.  The :class:`~repro.analysis.core.Analyzer` walks each tree
+once and fans nodes out to every interested rule, so adding a rule
+never adds another pass over the source.
+
+Domain tables
+-------------
+
+``SIM_DOMAINS``
+    Packages whose code runs *inside* a simulation: everything here
+    must be a pure function of the seed and the virtual clock.
+
+``DECISION_DOMAINS``
+    The subset whose iteration order feeds scheduling, placement or
+    clustering decisions — where container-order nondeterminism
+    silently changes results instead of merely reordering logs.
+
+``HOT_PATH_MODULES``
+    Modules whose classes are instantiated per-entity at scale (per
+    event, per thread, per phase, per cache segment) and are therefore
+    required to declare ``__slots__`` (SIM005).  Deliberately *not*
+    listed: ``repro.hypervisor.machine`` — ``Machine`` is a
+    one-per-scenario orchestrator whose instance-dict overhead is
+    immaterial and whose dynamic attribute surface is part of its
+    extension contract (``PCpuContext``, the per-pCPU class in that
+    module, is slotted voluntarily).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.analysis.core import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.core import ModuleContext
+
+SIM_DOMAINS: tuple[str, ...] = (
+    "repro.sim",
+    "repro.hypervisor",
+    "repro.dynamics",
+    "repro.core",
+    "repro.guest",
+    "repro.hardware",
+    "repro.workloads",
+    "repro.baselines",
+    "repro.metrics",
+)
+
+DECISION_DOMAINS: tuple[str, ...] = (
+    "repro.core",
+    "repro.hypervisor",
+    "repro.baselines",
+    "repro.dynamics",
+    "repro.sim",
+    "repro.guest",
+)
+
+HOT_PATH_MODULES: tuple[str, ...] = (
+    "repro.sim.engine",
+    "repro.guest.thread",
+    "repro.guest.phases",
+    "repro.hardware.pmu",
+    "repro.hardware.cache",
+    "repro.hypervisor.credit",
+)
+
+
+def module_in(module: str, prefixes: Sequence[str]) -> bool:
+    """True when ``module`` is one of ``prefixes`` or nested inside one."""
+    return any(
+        module == prefix or module.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+class Rule:
+    """One auditable invariant.  Subclass and register in ``rules/__init__``."""
+
+    #: Stable identifier, ``SIMnnn``; what suppressions refer to.
+    rule_id: str = "SIM000"
+    #: ``error`` fails the run; ``warning`` is report-only.
+    severity: str = "error"
+    #: One-line summary shown by ``--list-rules``.
+    description: str = ""
+    #: AST node types routed to :meth:`visit`.
+    interests: tuple[type, ...] = ()
+    #: Dotted-module prefixes audited; empty tuple means every module.
+    domains: tuple[str, ...] = ()
+    #: Dotted-module prefixes exempted even inside ``domains``.  Every
+    #: entry must be justified in the rule's source.
+    allowlist: tuple[str, ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        if self.allowlist and module_in(module, self.allowlist):
+            return False
+        if not self.domains:
+            return True
+        return module_in(module, self.domains)
+
+    def start_module(self, ctx: "ModuleContext") -> None:
+        """Per-module setup hook (import-map peeks, counters)."""
+
+    def visit(self, node: ast.AST, ctx: "ModuleContext") -> Iterable[Violation]:
+        return ()
+
+    def finish_module(self, ctx: "ModuleContext") -> Iterable[Violation]:
+        """Per-module teardown hook for rules that aggregate."""
+        return ()
+
+    # ------------------------------------------------------------------
+    def violation(
+        self, ctx: "ModuleContext", node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rule_id=self.rule_id,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=self.severity,
+        )
+
+
+def name_tokens(node: ast.AST) -> set[str]:
+    """Lower-cased identifier fragments mentioned anywhere in ``node``.
+
+    ``spacing_ns`` contributes ``{"spacing", "ns"}`` — the fragments are
+    what the time-hint heuristics in SIM004 match against.
+    """
+    tokens: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            ident = sub.id
+        elif isinstance(sub, ast.Attribute):
+            ident = sub.attr
+        elif isinstance(sub, ast.arg):
+            ident = sub.arg
+        else:
+            continue
+        tokens.update(part for part in ident.lower().split("_") if part)
+    return tokens
+
+
+__all__ = [
+    "DECISION_DOMAINS",
+    "HOT_PATH_MODULES",
+    "Rule",
+    "SIM_DOMAINS",
+    "module_in",
+    "name_tokens",
+]

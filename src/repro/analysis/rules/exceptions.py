@@ -1,0 +1,80 @@
+"""SIM006 — broad handlers that can swallow ``SimulationError``.
+
+:class:`repro.sim.engine.SimulationError` marks *impossible* states —
+a clock running backwards, an event scheduled in the past.  It exists
+to crash the run: a handler that catches it (directly, or via
+``Exception``/``RuntimeError``/bare ``except``) and carries on converts
+a hard invariant failure into silently-wrong published numbers, which
+is strictly worse.  Broad handlers pass only when their body re-raises
+(any ``raise`` statement — cleanup-and-propagate is the one legitimate
+shape, e.g. the atomic-publish unwind in ``repro.exec.cache``).
+
+A deliberate broad catch around code that cannot raise
+``SimulationError`` (e.g. unpickling a cache entry, where *any*
+exception must degrade to a miss) takes a line-level
+``# simlint: disable=SIM006`` with a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.core import Violation
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.core import ModuleContext
+
+#: Exception-name tails that (can) match SimulationError.
+BROAD_NAMES = frozenset({"Exception", "BaseException", "RuntimeError", "SimulationError"})
+
+
+def _handler_names(handler: ast.ExceptHandler) -> list[str]:
+    if handler.type is None:
+        return ["<bare except>"]
+    exprs = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: list[str] = []
+    for expr in exprs:
+        if isinstance(expr, ast.Attribute):
+            names.append(expr.attr)
+        elif isinstance(expr, ast.Name):
+            names.append(expr.id)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(sub, ast.Raise) for sub in ast.walk(handler))
+
+
+class SwallowedSimulationErrorRule(Rule):
+    rule_id = "SIM006"
+    description = (
+        "broad except can swallow SimulationError; catch specific "
+        "exceptions or re-raise"
+    )
+    interests = (ast.Try,)
+
+    def visit(self, node: ast.AST, ctx: "ModuleContext") -> Iterable[Violation]:
+        assert isinstance(node, ast.Try)
+        for handler in node.handlers:
+            names = _handler_names(handler)
+            broad = [
+                name
+                for name in names
+                if name == "<bare except>" or name in BROAD_NAMES
+            ]
+            if broad and not _reraises(handler):
+                yield self.violation(
+                    ctx,
+                    handler,
+                    f"handler for {', '.join(broad)} swallows engine-invariant "
+                    "failures (SimulationError); narrow the except or re-raise",
+                )
+
+
+__all__ = ["BROAD_NAMES", "SwallowedSimulationErrorRule"]

@@ -1,0 +1,83 @@
+"""SIM003 — order-nondeterministic iteration on decision paths.
+
+Set iteration order depends on insertion history *and* on hash
+randomization / pointer values for non-scalar elements, so a scheduling
+or clustering loop driven by a ``set`` can pick a different winner on
+an identical run.  The rule flags ``for``-loops and comprehensions
+whose iterable is:
+
+* a ``set``/``frozenset`` literal, set comprehension, or call;
+* an order-*sensitive* builtin (``list``, ``tuple``, ``iter``,
+  ``enumerate``, ``reversed``) wrapped around one of the above —
+  ``list(set(...))`` launders the nondeterminism, it does not fix it;
+* an explicit ``.keys()`` call — dict views are insertion-ordered, but
+  a decision loop spelled ``for k in d.keys()`` is usually inheriting
+  whatever order the dict was *built* in; spell the intended order out
+  (``sorted(d)`` or a list maintained in decision order).
+
+``sorted(set(...))``, ``min``/``max``/``sum``/``len``/``any``/``all``
+over a set are order-insensitive and pass.  Limitation (DESIGN.md §10):
+iteration over a *variable* that holds a set is invisible without type
+inference; the rule catches the construction sites, the equivalence
+suites catch the rest dynamically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.analysis.core import Violation
+from repro.analysis.rules.base import DECISION_DOMAINS, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.core import ModuleContext
+
+#: Builtins that preserve (hence propagate) their argument's order.
+ORDER_SENSITIVE_WRAPPERS = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
+
+
+def _unordered_reason(node: ast.expr, ctx: "ModuleContext") -> Optional[str]:
+    """Why iterating ``node`` is order-nondeterministic, or None."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set literal/comprehension"
+    if isinstance(node, ast.Call):
+        resolved = ctx.resolve(node.func)
+        if resolved in ("set", "frozenset"):
+            return f"a {resolved}()"
+        if resolved in ORDER_SENSITIVE_WRAPPERS and node.args:
+            inner = _unordered_reason(node.args[0], ctx)
+            if inner:
+                return f"{resolved}() over {inner}"
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "keys"
+            and not node.args
+        ):
+            return "an explicit .keys() view"
+    return None
+
+
+class UnorderedIterationRule(Rule):
+    rule_id = "SIM003"
+    description = (
+        "iteration over a set/.keys() view on a decision path; "
+        "sort explicitly or keep an ordered structure"
+    )
+    interests = (ast.For, ast.comprehension)
+    domains = DECISION_DOMAINS
+
+    def visit(self, node: ast.AST, ctx: "ModuleContext") -> Iterable[Violation]:
+        iterable = node.iter  # type: ignore[attr-defined]  # For | comprehension
+        reason = _unordered_reason(iterable, ctx)
+        if reason:
+            anchor = node if isinstance(node, ast.For) else iterable
+            yield self.violation(
+                ctx,
+                anchor,
+                f"iterating {reason} feeds container order into a decision; "
+                "wrap in sorted(...) or maintain an ordered structure",
+            )
+
+
+__all__ = ["ORDER_SENSITIVE_WRAPPERS", "UnorderedIterationRule"]

@@ -1,0 +1,79 @@
+"""SIM002 — unseeded / global-state randomness.
+
+All stochastic behaviour must flow through the per-component seeded
+streams of :class:`repro.sim.rng.RngFactory` (or at minimum an
+explicitly seeded ``numpy.random.default_rng(seed)``): the stdlib
+``random`` module and the legacy ``numpy.random.*`` functions share
+hidden global state, so two components drawing from them entangle
+their streams and any reordering — a new event, a parallel worker —
+silently changes every number downstream.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.core import Violation
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.core import ModuleContext
+
+#: ``numpy.random`` attributes that *construct* seeded generators —
+#: the modern, reproducible API — rather than draw from global state.
+SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+class UnseededRngRule(Rule):
+    rule_id = "SIM002"
+    description = (
+        "global-state randomness (random.* / legacy numpy.random.*); "
+        "use the seeded sim.rng streams"
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: "ModuleContext") -> Iterable[Violation]:
+        assert isinstance(node, ast.Call)
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved == "random" or resolved.startswith("random."):
+            yield self.violation(
+                ctx,
+                node,
+                f"{resolved}() draws from the stdlib's hidden global RNG; "
+                "derive a stream from RngFactory (repro.sim.rng) instead",
+            )
+            return
+        if resolved.startswith("numpy.random."):
+            tail = resolved.rsplit(".", 1)[-1]
+            if tail not in SEEDED_CONSTRUCTORS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{resolved}() uses numpy's legacy global RNG; construct "
+                    "a seeded Generator (RngFactory.stream / default_rng(seed))",
+                )
+            elif tail == "default_rng" and not node.args and not node.keywords:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "default_rng() without a seed is entropy-seeded and "
+                    "unreproducible; pass the experiment seed",
+                )
+
+
+__all__ = ["SEEDED_CONSTRUCTORS", "UnseededRngRule"]

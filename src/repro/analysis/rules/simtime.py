@@ -1,0 +1,123 @@
+"""SIM004 — float hazards on simulated-time arithmetic.
+
+The virtual clock is integer nanoseconds precisely so that time
+arithmetic is exact.  Two constructs smuggle floats back in:
+
+* ``int(x / y)`` — true division produces a float, and above 2**53 ns
+  (~104 virtual days, easily reached by cumulative counters) doubles
+  can no longer represent every integer, so the truncation is off by
+  whole nanoseconds *and* rounds toward zero rather than flooring.
+  This is the exact bug class PR 3 fixed in ``Simulator.after``.  Use
+  floor division on integers (``//``) or an explicit ``round()``.
+* ``t == 0.5`` — equality against a non-integral float constant on a
+  time-named operand; fractional nanoseconds do not exist, so the
+  comparison is either always false or hiding a unit error.
+
+Both checks fire only when the expression mentions a time-hinted
+identifier fragment (``TIME_HINT_TOKENS``) — the rule has no type
+information, and the hint keeps it away from genuinely unitless
+arithmetic (ratios, weights, credit fractions).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.core import Violation
+from repro.analysis.rules.base import SIM_DOMAINS, Rule, name_tokens
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.core import ModuleContext
+
+#: Identifier fragments that mark an expression as time-valued.
+#: ``spacing_ns`` hits via ``ns``; ``quantum`` and ``deadline`` appear
+#: whole.  Deliberately excludes bare single letters (``t``) — too many
+#: false positives in generic numeric code.
+TIME_HINT_TOKENS = frozenset(
+    {
+        "ns",
+        "time",
+        "now",
+        "deadline",
+        "expiry",
+        "quantum",
+        "delay",
+        "tick",
+        "period",
+        "start",
+        "end",
+        "elapsed",
+        "horizon",
+        "slot",
+        "vtime",
+        "latency",
+        "timeout",
+    }
+)
+
+#: Truncating call targets the rule audits.
+TRUNCATING_CALLS = frozenset({"int", "math.floor", "math.trunc"})
+
+
+def _mentions_time(node: ast.AST) -> bool:
+    return bool(name_tokens(node) & TIME_HINT_TOKENS)
+
+
+def _contains_true_division(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div)
+        for sub in ast.walk(node)
+    )
+
+
+def _is_fractional_float(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and not node.value.is_integer()
+    )
+
+
+class SimTimeFloatRule(Rule):
+    rule_id = "SIM004"
+    description = (
+        "float truncation / float equality on simulated time; "
+        "keep the clock integral (// or round)"
+    )
+    interests = (ast.Call, ast.Compare)
+    domains = SIM_DOMAINS
+
+    def visit(self, node: ast.AST, ctx: "ModuleContext") -> Iterable[Violation]:
+        if isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            if (
+                resolved in TRUNCATING_CALLS
+                and len(node.args) == 1
+                and _contains_true_division(node.args[0])
+                and _mentions_time(node.args[0])
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{resolved}() of a true-division result truncates a "
+                    "float time (doubles lose ns precision past 2**53); use "
+                    "integer floor division // or an explicit round()",
+                )
+        elif isinstance(node, ast.Compare):
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                return
+            operands = [node.left, *node.comparators]
+            fractional = [op for op in operands if _is_fractional_float(op)]
+            if fractional and any(
+                _mentions_time(op) for op in operands if not _is_fractional_float(op)
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "equality against a non-integral float on a time value; "
+                    "the clock is integer nanoseconds — compare integers",
+                )
+
+
+__all__ = ["TIME_HINT_TOKENS", "TRUNCATING_CALLS", "SimTimeFloatRule"]

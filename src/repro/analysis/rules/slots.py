@@ -1,0 +1,134 @@
+"""SIM005 — missing ``__slots__`` in designated hot-path modules.
+
+The PR 3 profile showed per-instance ``__dict__`` allocation as a
+measurable cost for classes created per event, per guest thread, per
+phase and per cache segment; those modules (``HOT_PATH_MODULES`` in
+``rules/base.py``, rationale there) are required to slot every class.
+
+Passes:
+
+* plain classes with a ``__slots__`` assignment in the body (inherited
+  slots do not help — any un-slotted class in the chain re-grows the
+  dict, so each class must declare its own, possibly empty, tuple);
+* ``@dataclass(slots=True)`` in any decorator spelling;
+* exception classes (``raise`` sites are never hot, and BaseException
+  requires a dict), enums, Protocols, NamedTuples, TypedDicts, ABCs.
+
+A deliberately dict-backed class in a designated module takes a
+line-level ``# simlint: disable=SIM005`` with a justification comment
+(suppression policy: DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.analysis.core import Violation
+from repro.analysis.rules.base import HOT_PATH_MODULES, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.core import ModuleContext
+
+#: Base-class name tails that exempt a class from the slots requirement.
+EXEMPT_BASES = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "Enum",
+        "IntEnum",
+        "StrEnum",
+        "Flag",
+        "IntFlag",
+        "Protocol",
+        "NamedTuple",
+        "TypedDict",
+        "ABC",
+        "Generic",
+    }
+)
+
+
+def _tail(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Subscript):  # Generic[T], Protocol[T]
+        return _tail(expr.value)
+    return ""
+
+
+def _is_exempt(node: ast.ClassDef) -> bool:
+    if node.name.endswith(("Error", "Exception")):
+        return True
+    for base in node.bases:
+        tail = _tail(base)
+        if tail in EXEMPT_BASES or tail.endswith(("Error", "Exception")):
+            return True
+    return False
+
+
+def _dataclass_decorator(
+    node: ast.ClassDef, ctx: "ModuleContext"
+) -> Optional[ast.expr]:
+    """The ``dataclass`` decorator node, bare or called, if present."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, (ast.Name, ast.Attribute)):
+            resolved = ctx.resolve(target)
+            if resolved in ("dataclasses.dataclass", "dataclass"):
+                return decorator
+    return None
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for statement in node.body:
+        targets: list[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+class MissingSlotsRule(Rule):
+    rule_id = "SIM005"
+    description = "hot-path class without __slots__ (per-instance dict churn)"
+    interests = (ast.ClassDef,)
+    domains = HOT_PATH_MODULES
+
+    def visit(self, node: ast.AST, ctx: "ModuleContext") -> Iterable[Violation]:
+        assert isinstance(node, ast.ClassDef)
+        if _is_exempt(node):
+            return
+        decorator = _dataclass_decorator(node, ctx)
+        if decorator is not None:
+            if isinstance(decorator, ast.Call):
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "slots"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return
+            yield self.violation(
+                ctx,
+                node,
+                f"hot-path dataclass {node.name!r} allocates a __dict__ per "
+                "instance; declare @dataclass(slots=True)",
+            )
+            return
+        if not _declares_slots(node):
+            yield self.violation(
+                ctx,
+                node,
+                f"hot-path class {node.name!r} allocates a __dict__ per "
+                "instance; declare __slots__",
+            )
+
+
+__all__ = ["EXEMPT_BASES", "MissingSlotsRule"]

@@ -86,7 +86,12 @@ class ResultCache:
             return CacheEntry(hit=False)
         try:
             value = pickle.loads(payload)
-        except Exception:
+        # unpickling a (checksum-valid but stale/foreign) entry can raise
+        # nearly anything — AttributeError, ImportError, UnpicklingError —
+        # and every one of them must degrade to a cache miss; no
+        # simulation runs inside this frame, so no SimulationError can be
+        # swallowed here.
+        except Exception:  # simlint: disable=SIM006
             self.stats.invalidations += 1
             self.stats.misses += 1
             self._discard(path)

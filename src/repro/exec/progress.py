@@ -31,7 +31,7 @@ class ProgressPrinter:
     stdout).
     """
 
-    def __init__(self, stream: Optional[TextIO] = None):
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
         self.stream = stream if stream is not None else sys.stderr
 
     def __call__(self, report: CellReport) -> None:

@@ -22,7 +22,7 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro.exec.cache import ResultCache
 from repro.exec.cells import Cell
@@ -54,7 +54,9 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _timed_call(fn, kwargs: Mapping[str, Any]) -> tuple[Any, float]:
+def _timed_call(
+    fn: Callable[..., Any], kwargs: Mapping[str, Any]
+) -> tuple[Any, float]:
     """Worker entry point (module-level so it pickles across fork)."""
     start = time.perf_counter()
     value = fn(**kwargs)
@@ -116,7 +118,12 @@ class SweepRunner:
             return 1
         return min(self.jobs, pending)
 
-    def _run_serial(self, pending, results, total) -> None:
+    def _run_serial(
+        self,
+        pending: Sequence[tuple[int, Cell, Optional[str]]],
+        results: list[Any],
+        total: int,
+    ) -> None:
         for index, cell, key in pending:
             # mirror the isolation a worker process gets: the cell runs
             # on a private copy of its kwargs, so a policy mutated by
@@ -127,7 +134,12 @@ class SweepRunner:
             )
             self._finish(index, cell, key, value, seconds, results, total)
 
-    def _run_parallel(self, pending, results, total) -> None:
+    def _run_parallel(
+        self,
+        pending: Sequence[tuple[int, Cell, Optional[str]]],
+        results: list[Any],
+        total: int,
+    ) -> None:
         workers = self._effective_jobs(len(pending))
         context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(
@@ -150,14 +162,31 @@ class SweepRunner:
                         index, cell, key, value, seconds, results, total
                     )
 
-    def _finish(self, index, cell, key, value, seconds, results, total):
+    def _finish(
+        self,
+        index: int,
+        cell: Cell,
+        key: Optional[str],
+        value: Any,
+        seconds: float,
+        results: list[Any],
+        total: int,
+    ) -> None:
         if key is not None:
             assert self.cache is not None
             self.cache.put(key, value)
         results[index] = value
         self._report(index, total, cell, "ran", seconds, key)
 
-    def _report(self, index, total, cell, outcome, seconds, key) -> None:
+    def _report(
+        self,
+        index: int,
+        total: int,
+        cell: Cell,
+        outcome: str,
+        seconds: float,
+        key: Optional[str],
+    ) -> None:
         if self.progress is None:
             return
         self.progress(CellReport(

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from repro.hypervisor.vm import Priority, VCpu, VCpuState
 from repro.sim.units import MS
@@ -35,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hypervisor.machine import Machine, PCpuContext
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CreditParams:
     """Tunables of the Credit scheduler."""
 
@@ -122,7 +122,7 @@ class RunQueue:
         queues = self._ordered
         return len(queues[0][1]) + len(queues[1][1]) + len(queues[2][1])
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[VCpu]:
         for _, queue in self._ordered:
             yield from queue
 
@@ -130,7 +130,9 @@ class RunQueue:
 class CreditScheduler:
     """Scheduling *policy*; mechanism (dispatch/integration) lives in Machine."""
 
-    def __init__(self, machine: "Machine", params: CreditParams):
+    __slots__ = ("machine", "params")
+
+    def __init__(self, machine: "Machine", params: CreditParams) -> None:
         self.machine = machine
         self.params = params
 

@@ -60,7 +60,7 @@ class PCpuContext:
         "pcpu", "pool", "current", "runq", "tick_event", "tick_fn", "offline",
     )
 
-    def __init__(self, pcpu: PCpu, pool: CpuPool):
+    def __init__(self, pcpu: PCpu, pool: CpuPool) -> None:
         self.pcpu = pcpu
         self.pool = pool
         self.current: Optional[VCpu] = None

@@ -21,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class CpuPool:
     """A set of pCPUs scheduled with one quantum length."""
 
-    def __init__(self, pool_id: int, name: str, quantum_ns: int = 30 * MS):
+    def __init__(self, pool_id: int, name: str, quantum_ns: int = 30 * MS) -> None:
         if quantum_ns <= 0:
             raise ValueError("quantum must be positive")
         self.pool_id = pool_id

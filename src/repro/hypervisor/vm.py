@@ -40,7 +40,7 @@ class Priority(enum.IntEnum):
 class VCpu:
     """One virtual CPU."""
 
-    def __init__(self, vcpu_id: int, vm: "VM", index: int):
+    def __init__(self, vcpu_id: int, vm: "VM", index: int) -> None:
         self.vcpu_id = vcpu_id  # globally unique
         self.vm = vm
         self.index = index  # position within the VM

@@ -118,17 +118,19 @@ def render_gantt(
     vcpus = sorted({i.vcpu for i in timeline.intervals})
     alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
     glyph = {name: alphabet[i % len(alphabet)] for i, name in enumerate(vcpus)}
-    slot = (end - start) / width
+    span = end - start
+    slot = span / width
     lines = []
     for pcpu in pcpus:
-        occupancy = [0.0] * width
-        owner: list[Optional[str]] = [None] * width
         per_slot: list[dict[str, float]] = [dict() for _ in range(width)]
         for interval in timeline.intervals:
             if interval.pcpu != pcpu or interval.end <= start or interval.start >= end:
                 continue
-            first = max(0, int((interval.start - start) / slot))
-            last = min(width - 1, int((interval.end - start - 1) / slot))
+            # exact integer slot indices: times are integer ns, and the
+            # float path (int(t / slot)) both truncates toward zero and
+            # loses whole nanoseconds once t exceeds 2**53
+            first = max(0, (interval.start - start) * width // span)
+            last = min(width - 1, (interval.end - start - 1) * width // span)
             for index in range(first, last + 1):
                 slot_start = start + index * slot
                 slot_end = slot_start + slot

@@ -73,7 +73,7 @@ class Event:
 
     __slots__ = ("time", "seq", "fn", "label", "cancelled")
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], None], label: str):
+    def __init__(self, time: int, seq: int, fn: Callable[[], None], label: str) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -97,6 +97,21 @@ class Event:
 
 class Simulator:
     """Deterministic event loop over an integer-nanosecond virtual clock."""
+
+    __slots__ = (
+        "kernel",
+        "now",
+        "_heap",
+        "_seq",
+        "_events_fired",
+        "_running",
+        "_use_wheel",
+        "_slot_ns",
+        "_wheel",
+        "_horizon_ns",
+        "_wheel_count",
+        "_flushed_until",
+    )
 
     def __init__(self, kernel: Optional[str] = None) -> None:
         if kernel is None:

@@ -17,7 +17,7 @@ import numpy as np
 class RngFactory:
     """Derives independent, reproducible random generators by name."""
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         if not isinstance(seed, int) or seed < 0:
             raise ValueError(f"seed must be a non-negative int, got {seed!r}")
         self.seed = seed

@@ -27,7 +27,7 @@ class TraceRecord:
 class TraceRecorder:
     """Append-only trace sink with kind-based filtering."""
 
-    def __init__(self, enabled: bool = False, kinds: Optional[set[str]] = None):
+    def __init__(self, enabled: bool = False, kinds: Optional[set[str]] = None) -> None:
         self.enabled = enabled
         self.kinds = kinds  # None means record every kind
         self._records: list[TraceRecord] = []

@@ -1,0 +1,12 @@
+# simlint: module=repro.perf.fake_fixture
+# simlint-expect:
+"""SIM001 negative fixture: repro.perf is allowlisted (profiling is its job)."""
+import time
+
+
+def wall_probe() -> float:
+    return time.perf_counter()
+
+
+def wall_now() -> float:
+    return time.time()

@@ -1,0 +1,24 @@
+# simlint: module=repro.hypervisor.fake_fixture
+# simlint-expect: SIM001:10 SIM001:11 SIM001:15 SIM001:19
+"""SIM001 positive fixture: wall-clock reads in simulation code."""
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def sample_latency() -> float:
+    started = time.time()
+    return time.monotonic() - started
+
+
+def stamp() -> object:
+    return datetime.now()
+
+
+def quick() -> float:
+    return pc()
+
+
+def justified() -> float:
+    # wall probe kept for a doc example
+    return time.perf_counter()  # simlint: disable=SIM001

@@ -1,0 +1,26 @@
+# simlint: module=repro.dynamics.fake_fixture
+# simlint-expect: SIM002:10 SIM002:14 SIM002:18 SIM002:22
+"""SIM002 positive fixture: global-state and unseeded randomness."""
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def legacy_draw() -> float:
+    return np.random.rand()
+
+
+def entropy_seeded():
+    return np.random.default_rng()
+
+
+def justified() -> float:
+    return random.random()  # doc example only  # simlint: disable=SIM002

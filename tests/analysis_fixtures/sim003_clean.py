@@ -1,0 +1,25 @@
+# simlint: module=repro.core.fake_fixture
+# simlint-expect:
+"""SIM003 negative fixture: explicit ordering and order-insensitive uses."""
+
+
+def pick_first(candidates: set):
+    for candidate in sorted(set(candidates)):
+        return candidate
+
+
+def total(weights: dict) -> float:
+    return sum(weights.values())
+
+
+def membership(candidates: set, name: str) -> bool:
+    return name in candidates
+
+
+def reduction(candidates: set) -> int:
+    return max(set(candidates), default=0)
+
+
+def insertion_order(weights: dict):
+    for name in weights:
+        yield name

@@ -1,0 +1,29 @@
+# simlint: module=repro.core.fake_fixture
+# simlint-expect: SIM003:7 SIM003:12 SIM003:17 SIM003:23
+"""SIM003 positive fixture: order-nondeterministic decision iteration."""
+
+
+def pick_first(candidates: set):
+    for candidate in set(candidates):
+        return candidate
+
+
+def collect(candidates: list) -> list:
+    return [c for c in {name for name in candidates}]
+
+
+def laundered(candidates: set) -> list:
+    out = []
+    for candidate in list(frozenset(candidates)):
+        out.append(candidate)
+    return out
+
+
+def key_walk(weights: dict):
+    for name in weights.keys():
+        yield name
+
+
+def justified(candidates: set):
+    for candidate in set(candidates):  # simlint: disable=SIM003
+        return candidate

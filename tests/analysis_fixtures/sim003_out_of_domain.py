@@ -1,0 +1,15 @@
+# simlint: module=repro.metrics.fake_fixture
+# simlint-expect:
+"""SIM003 scoping fixture: reporting code may iterate sets freely.
+
+``repro.metrics`` is not a decision domain — set order there can only
+reorder output rows, never change a scheduling result (and report
+functions sort before printing anyway).
+"""
+
+
+def histogram(values: set) -> dict:
+    counts = {}
+    for value in set(values):
+        counts[value] = counts.get(value, 0) + 1
+    return counts

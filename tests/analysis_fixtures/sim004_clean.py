@@ -1,0 +1,23 @@
+# simlint: module=repro.sim.fake_fixture
+# simlint-expect:
+"""SIM004 negative fixture: integral clock arithmetic and unitless math."""
+
+
+def slot_index(start_ns: int, slot_ns: int) -> int:
+    return start_ns // slot_ns
+
+
+def rounded(delay_ns: int, factor: int) -> int:
+    return round(delay_ns / factor)
+
+
+def unitless(numerator: float, denominator: float) -> int:
+    return int(numerator / denominator)
+
+
+def integral_compare(time_ns: int) -> bool:
+    return time_ns == 5
+
+
+def ratio_compare(share: float) -> bool:
+    return share == 0.5

@@ -1,0 +1,21 @@
+# simlint: module=repro.sim.fake_fixture
+# simlint-expect: SIM004:8 SIM004:12 SIM004:16
+"""SIM004 positive fixture: float hazards on simulated time."""
+import math
+
+
+def slot_index(start_ns: int, slot_ns: int) -> int:
+    return int(start_ns / slot_ns)
+
+
+def floor_index(elapsed_time: int, period: int) -> int:
+    return math.floor(elapsed_time / period)
+
+
+def at_half(now: float) -> bool:
+    return now == 0.5
+
+
+def justified(total_ns: int, factor: float) -> int:
+    # spike scaling rounds down by design
+    return int(total_ns / factor)  # simlint: disable=SIM004

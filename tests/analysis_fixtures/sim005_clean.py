@@ -1,0 +1,26 @@
+# simlint: module=repro.hardware.pmu
+# simlint-expect:
+"""SIM005 negative fixture: slotted, exempt, and out-of-scope classes."""
+import enum
+from dataclasses import dataclass
+
+
+class Counter:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+@dataclass(slots=True)
+class Snapshot:
+    value: int
+
+
+class FixtureError(RuntimeError):
+    pass
+
+
+class Kind(enum.Enum):
+    A = 1
+    B = 2

@@ -1,0 +1,20 @@
+# simlint: module=repro.guest.phases
+# simlint-expect: SIM005:7 SIM005:13
+"""SIM005 positive fixture: dict-backed classes in a hot-path module."""
+from dataclasses import dataclass
+
+
+class Token:
+    def __init__(self, owner: str):
+        self.owner = owner
+
+
+@dataclass
+class Sample:
+    value: int
+    weight: float
+
+
+class Justified:  # one-off sentinel  # simlint: disable=SIM005
+    def __init__(self) -> None:
+        self.marker = object()

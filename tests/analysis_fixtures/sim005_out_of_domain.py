@@ -1,0 +1,12 @@
+# simlint: module=repro.experiments.fake_fixture
+# simlint-expect:
+"""SIM005 scoping fixture: slots are only required in hot-path modules.
+
+Experiment drivers construct a handful of objects per run; per-instance
+dict overhead is immaterial there, so SIM005 stays silent.
+"""
+
+
+class SweepConfig:
+    def __init__(self, seed: int):
+        self.seed = seed

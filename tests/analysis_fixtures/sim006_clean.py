@@ -1,0 +1,25 @@
+# simlint: module=repro.hypervisor.fake_fixture
+# simlint-expect:
+"""SIM006 negative fixture: narrow handlers and cleanup-and-propagate."""
+
+
+def narrow(parse):
+    try:
+        return parse()
+    except ValueError:
+        return None
+
+
+def cleanup_and_propagate(step, unwind):
+    try:
+        step()
+    except BaseException:
+        unwind()
+        raise
+
+
+def rewrap(step):
+    try:
+        step()
+    except Exception as exc:
+        raise RuntimeError("fixture failed") from exc

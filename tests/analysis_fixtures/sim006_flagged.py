@@ -1,0 +1,41 @@
+# simlint: module=repro.hypervisor.fake_fixture
+# simlint-expect: SIM006:11 SIM006:18 SIM006:25 SIM006:32
+"""SIM006 positive fixture: broad handlers swallowing SimulationError."""
+from repro.sim.engine import SimulationError
+
+
+def swallow_everything(step) -> bool:
+    try:
+        step()
+        return True
+    except Exception:
+        return False
+
+
+def swallow_bare(step):
+    try:
+        step()
+    except:
+        pass
+
+
+def swallow_tuple(step):
+    try:
+        step()
+    except (ValueError, RuntimeError):
+        pass
+
+
+def swallow_directly(step):
+    try:
+        step()
+    except SimulationError:
+        pass
+
+
+def justified(step) -> bool:
+    try:
+        step()
+        return True
+    except Exception:  # probing fixture, cannot raise  # simlint: disable=SIM006
+        return False

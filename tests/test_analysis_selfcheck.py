@@ -1,0 +1,93 @@
+"""The self-check: simlint over this repository must stay clean.
+
+This is what makes the determinism invariants *regress-proof*: a stray
+``time.time()`` in a scheduling path, an unseeded generator, or a new
+un-slotted hot-path class fails the ordinary test run, not just a CI
+lint job someone may not read.  Also locks the CLI contract the
+Makefile, pre-commit hook and CI depend on — including the acceptance
+property that a seeded-violation run exits non-zero with the expected
+rule ids in JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import Analyzer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+BENCHMARKS = REPO_ROOT / "benchmarks"
+FIXTURES = REPO_ROOT / "tests" / "analysis_fixtures"
+
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src_dir = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+def test_source_tree_is_clean():
+    violations = Analyzer().analyze_paths([SRC, BENCHMARKS])
+    rendered = "\n".join(v.render() for v in violations)
+    assert not violations, f"simlint violations in the tree:\n{rendered}"
+
+
+def test_cli_clean_tree_exits_zero():
+    result = _run_cli("src/repro", "benchmarks")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "simlint: clean" in result.stdout
+
+
+def test_cli_seeded_violations_exit_nonzero_with_rule_ids_in_json():
+    result = _run_cli("--format", "json", str(FIXTURES))
+    assert result.returncode == 1, result.stdout + result.stderr
+    document = json.loads(result.stdout)
+    assert document["schema"] == 1
+    assert document["exit"] == 1
+    fired = set(document["counts"])
+    expected = {"SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"}
+    assert fired == expected, f"expected all rules to fire, got {fired}"
+    # every violation row carries a full location
+    for row in document["violations"]:
+        assert row["path"] and row["line"] >= 1 and row["rule"] in expected
+
+
+def test_cli_rule_filter_restricts_findings():
+    result = _run_cli("--format", "json", "--rule", "SIM001", str(FIXTURES))
+    assert result.returncode == 1
+    document = json.loads(result.stdout)
+    assert set(document["counts"]) == {"SIM001"}
+    assert [row["rule"] for row in document["checked_rules"]] == ["SIM001"]
+
+
+def test_cli_unknown_rule_is_a_usage_error():
+    result = _run_cli("--rule", "SIM999", str(FIXTURES))
+    assert result.returncode == 2
+    assert "unknown rule" in result.stderr
+
+
+def test_cli_list_rules_prints_catalogue():
+    result = _run_cli("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"):
+        assert rule_id in result.stdout
+
+
+def test_cli_missing_path_is_a_usage_error():
+    result = _run_cli("no/such/dir")
+    assert result.returncode == 2
+    assert "no such path" in result.stderr
