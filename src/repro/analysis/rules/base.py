@@ -50,6 +50,7 @@ SIM_DOMAINS: tuple[str, ...] = (
     "repro.workloads",
     "repro.baselines",
     "repro.metrics",
+    "repro.telemetry",
 )
 
 DECISION_DOMAINS: tuple[str, ...] = (
@@ -68,6 +69,8 @@ HOT_PATH_MODULES: tuple[str, ...] = (
     "repro.hardware.pmu",
     "repro.hardware.cache",
     "repro.hypervisor.credit",
+    "repro.telemetry.registry",
+    "repro.telemetry.spans",
 )
 
 

@@ -27,6 +27,14 @@ therefore outside the deterministic core:
     experiment where wall time is the measured quantity.
 ``repro.experiments.__main__``
     CLI progress output ("[fig5 took 12.3s]"); presentation only.
+``repro.telemetry.exposition``
+    The telemetry *export* layer stamps artifacts (Prometheus text,
+    JSONL) with the wall-clock moment they were written — host-side
+    provenance, recorded after the simulation finished, never an input
+    to it.  The recording layers (``repro.telemetry.registry``/
+    ``spans``/``audit``) stay on the virtual clock and remain fully
+    audited; the fixture ``sim001_telemetry_flagged.py`` proves an
+    unguarded wall-clock read there still fails.
 """
 
 from __future__ import annotations
@@ -74,6 +82,7 @@ class WallClockRule(Rule):
         "repro.exec.runner",
         "repro.experiments.overhead",
         "repro.experiments.__main__",
+        "repro.telemetry.exposition",
     )
 
     def visit(self, node: ast.AST, ctx: "ModuleContext") -> Iterable[Violation]:

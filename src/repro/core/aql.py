@@ -24,6 +24,7 @@ from repro.core.types import VCpuType
 from repro.core.vtrs import VTRS
 from repro.hypervisor.pools import PoolPlan
 from repro.sim.units import MS
+from repro.telemetry import ClusterDecision
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hardware.topology import Socket
@@ -149,6 +150,7 @@ class AqlScheduler:
     def decide(self) -> None:
         """Re-type, re-cluster, apply the plan if the layout changed."""
         self.decisions += 1
+        telemetry = self.machine.telemetry
         if self.decisions <= self.initial_delay_windows:
             self.decision_log.append(
                 DecisionRecord(
@@ -159,7 +161,28 @@ class AqlScheduler:
                     types=(),
                 )
             )
+            if telemetry.enabled:
+                telemetry.audit.record_decision(
+                    ClusterDecision(
+                        time_ns=self.machine.sim.now,
+                        decision_index=self.decisions,
+                        input_types=(),
+                        changed=False,
+                        pools=(),
+                        spills=(),
+                        skipped=True,
+                    )
+                )
             return  # cold-start transient: counters not yet meaningful
+        span = None
+        if telemetry.enabled:
+            span = telemetry.tracer.begin(
+                self.machine.sim.now,
+                "aql_decide",
+                track="aql",
+                category="aql",
+                decision=self.decisions,
+            )
         types = self.current_types()
         typed = [
             TypedVCpu(
@@ -203,6 +226,29 @@ class AqlScheduler:
                 ),
             )
         )
+        if telemetry.enabled:
+            telemetry.audit.record_decision(
+                ClusterDecision(
+                    time_ns=self.machine.sim.now,
+                    decision_index=self.decisions,
+                    input_types=tuple(
+                        sorted(
+                            (vid, t.name)
+                            for vid, t in self.last_types.items()
+                        )
+                    ),
+                    changed=changed,
+                    pools=plan.describe(),
+                    spills=tuple(sorted(plan.spills)),
+                )
+            )
+            telemetry.registry.counter("aql_decisions").inc()
+            if changed:
+                telemetry.registry.counter("aql_reconfigurations").inc()
+            if span is not None:
+                telemetry.tracer.end(
+                    self.machine.sim.now, span, changed=changed
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -26,7 +26,7 @@ pCPU and every vCPU to a pool with a quantum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 from repro.core.types import VCpuType
@@ -113,6 +113,10 @@ class SocketClusters:
 
     #: parallel lists: cluster quantum, its vCPUs, its pCPUs
     clusters: list[tuple[int, list[TypedVCpu], list]]
+    #: (vcpu_id, reason) for every vCPU placed in the default-quantum
+    #: cluster instead of its type's calibrated one — the decision
+    #: audit surfaces these as the "why is this vCPU at 30 ms?" answers
+    spills: list[tuple[int, str]] = field(default_factory=list)
 
 
 def cluster_socket(
@@ -210,6 +214,7 @@ def cluster_socket(
     pool_vcpus: dict[int, list[TypedVCpu]] = {q: [] for q in quanta}
     default_vcpus: list[TypedVCpu] = []
     default_pcpus: list = []
+    spills: list[tuple[int, str]] = []
 
     index = 0
     for pcpu in pcpus:
@@ -228,6 +233,17 @@ def cluster_socket(
             # Algorithm 2 lines 20-23: mixed share -> default cluster
             default_pcpus.append(pcpu)
             default_vcpus.extend(tv for _, tv in share)
+            mixed = "/".join(f"{q // MS}ms" for q in sorted(share_quanta))
+            spills.extend(
+                (
+                    tv.vcpu.vcpu_id,
+                    f"pCPU share mixes quanta {mixed}: cluster spans a "
+                    f"pool boundary, so the share runs at the default "
+                    f"{default_quantum_ns // MS}ms (Alg. 2 lines 20-23)",
+                )
+                for q, tv in share
+                if q != default_quantum_ns
+            )
 
     result: list[tuple[int, list[TypedVCpu], list]] = []
     for quantum in sorted(pools):
@@ -246,7 +262,7 @@ def cluster_socket(
                 break
         if not merged:
             result.append((default_quantum_ns, default_vcpus, default_pcpus))
-    return SocketClusters(clusters=result)
+    return SocketClusters(clusters=result, spills=spills)
 
 
 # ----------------------------------------------------------------------
@@ -317,6 +333,7 @@ def build_pool_plan(
             counter += 1
             label = f"s{socket.socket_id}.C{counter}.q{quantum // MS}ms"
             plan.add(label, cluster_pcpus, quantum, [tv.vcpu for tv in vcpus])
+        plan.spills.extend(socket_result.spills)
     unused = [s for s in topology.sockets if s not in usable]
     for socket in unused:
         reserved.extend(p for p in socket.pcpus if p not in dark)

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.core.cursors import CursorLimits, MetricSample, compute_cursors
 from repro.core.types import TYPE_PRECEDENCE, VCpuType
 from repro.sim.units import MS
+from repro.telemetry import TypeFlip
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hypervisor.machine import Machine
@@ -41,6 +42,9 @@ class _VCpuMonitor:
     vm_spin_snap: float = 0.0
     window: deque = field(default_factory=deque)
     history: list = field(default_factory=list)  # (time, cursors) if recording
+    #: the last audited type verdict (telemetry only; None before the
+    #: first flip record)
+    last_type: Optional[VCpuType] = None
 
 
 class VTRS:
@@ -92,6 +96,18 @@ class VTRS:
         self.machine.sync()
         self.periods_observed += 1
         now = self.machine.sim.now
+        telemetry = self.machine.telemetry
+        if telemetry.enabled:
+            # the period being closed spans the gap back to the previous
+            # sample; recorded retroactively on the control-plane track
+            telemetry.tracer.complete(
+                max(0, now - self.period_ns),
+                now,
+                "vtrs_period",
+                track="aql",
+                category="vtrs",
+                period=self.periods_observed,
+            )
         for vcpu in self.machine.all_vcpus:
             monitor = self._monitors.get(vcpu.vcpu_id)
             if monitor is None:
@@ -113,6 +129,50 @@ class VTRS:
             monitor.window.append((cursors, cpu_evidence))
             if self.record_history:
                 monitor.history.append((now, cursors))
+            if telemetry.enabled:
+                self._audit_verdict(vcpu, monitor, now, telemetry)
+
+    def _audit_verdict(self, vcpu, monitor, now, telemetry) -> None:
+        """Record a TypeFlip when this period changed the verdict.
+
+        The snapshot carries the *full* sliding window the argmax ran
+        over, so the flip is independently re-derivable from the record
+        alone (the audit tests recompute it).
+        """
+        new_type = self.type_of(vcpu)
+        if new_type is None or new_type == monitor.last_type:
+            return
+        averages = self.cursor_averages(vcpu)
+        telemetry.audit.record_flip(
+            TypeFlip(
+                time_ns=now,
+                vcpu_id=vcpu.vcpu_id,
+                vcpu_name=vcpu.name,
+                old_type=(
+                    monitor.last_type.name
+                    if monitor.last_type is not None
+                    else None
+                ),
+                new_type=new_type.name,
+                window=tuple(
+                    (
+                        tuple(
+                            sorted(
+                                (t.name, float(value))
+                                for t, value in cursors.items()
+                            )
+                        ),
+                        cpu_ok,
+                    )
+                    for cursors, cpu_ok in monitor.window
+                ),
+                averages=tuple(
+                    sorted((t.name, v) for t, v in averages.items())
+                ),
+            )
+        )
+        telemetry.registry.counter("type_flips", vcpu=vcpu.name).inc()
+        monitor.last_type = new_type
 
     def _snapshot(self, vcpu: "VCpu", monitor: _VCpuMonitor) -> None:
         monitor.pmu_snap = vcpu.pmu.snapshot()

@@ -102,6 +102,15 @@ class ChurnEngine:
             event=event.kind,
             detail=event.describe(),
         )
+        telemetry = self.machine.telemetry
+        if telemetry.enabled:
+            telemetry.registry.counter("churn_events", kind=event.kind).inc()
+            telemetry.tracer.instant(
+                self.machine.sim.now,
+                f"churn:{event.kind}",
+                track="churn",
+                detail=event.describe(),
+            )
 
     # ------------------------------------------------------------------
     # event handlers

@@ -54,6 +54,33 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def aggregate_telemetry(results: Sequence[Any]) -> dict[str, float]:
+    """Merge per-run telemetry summaries out of sweep results.
+
+    Any result exposing a non-empty ``telemetry_summary`` mapping (a
+    :class:`~repro.experiments.runner.ScenarioRun` run with
+    ``telemetry=True``) contributes; other results are skipped.  Values
+    are summed per qualified instrument name, ``telemetry_runs`` counts
+    the contributing results, and keys come back sorted — the aggregate
+    is a pure fold over per-cell values, so it is identical for serial,
+    parallel and cache-replayed sweeps.  Empty when nothing contributed.
+    """
+    totals: dict[str, float] = {}
+    contributing = 0
+    for result in results:
+        summary = getattr(result, "telemetry_summary", None)
+        if not summary:
+            continue
+        contributing += 1
+        for key, value in summary.items():
+            totals[key] = totals.get(key, 0.0) + float(value)
+    if not contributing:
+        return {}
+    aggregate = {key: totals[key] for key in sorted(totals)}
+    aggregate["telemetry_runs"] = float(contributing)
+    return aggregate
+
+
 def _timed_call(
     fn: Callable[..., Any], kwargs: Mapping[str, Any]
 ) -> tuple[Any, float]:
@@ -203,4 +230,9 @@ class SweepRunner:
         return f"<SweepRunner jobs={self.jobs} cache={cached}>"
 
 
-__all__ = ["SweepRunner", "resolve_jobs", "ENV_JOBS"]
+__all__ = [
+    "SweepRunner",
+    "aggregate_telemetry",
+    "resolve_jobs",
+    "ENV_JOBS",
+]

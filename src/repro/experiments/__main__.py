@@ -191,6 +191,28 @@ def _churn(fast: bool, runner: Optional[SweepRunner]) -> str:
     return render_churn(run_churn(fast=fast, runner=runner))
 
 
+#: the telemetry command's run, kept for the artifact flags
+#: (``--telemetry-out`` / ``--trace-out`` export from the same
+#: simulation the report printed)
+LAST_TELEMETRY_REPORT = None
+
+
+def _telemetry(fast: bool, runner: Optional[SweepRunner]) -> str:
+    from repro.experiments.telemetry_report import (
+        render_telemetry_report,
+        run_telemetry_report,
+    )
+
+    global LAST_TELEMETRY_REPORT
+    warmup = 500 * MS if fast else 1 * SEC
+    measure = 1 * SEC if fast else 2 * SEC
+    report = run_telemetry_report(
+        warmup_ns=warmup, measure_ns=measure, with_trace=True
+    )
+    LAST_TELEMETRY_REPORT = report
+    return render_telemetry_report(report)
+
+
 EXPERIMENTS: dict[
     str, tuple[str, Callable[[bool, Optional[SweepRunner]], str]]
 ] = {
@@ -210,6 +232,8 @@ EXPERIMENTS: dict[
     "random": ("generalisation: AQL on random colocation mixes", _random),
     "churn": ("dynamics: VM churn, phase changes & faults, AQL vs Xen",
               _churn),
+    "telemetry": ("decision audit: per-vCPU type-flip 'why' table + "
+                  "pool-change ledger", _telemetry),
 }
 
 
@@ -256,8 +280,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--trace-out", default=None, metavar="PATH",
-        help="with the churn experiment: also run one traced churn story "
-             "and write a chrome://tracing JSON to PATH",
+        help="with a single experiment: also run that family's "
+             "representative traced cell (scheduling timeline + telemetry "
+             "spans) and write a chrome://tracing JSON to PATH",
+    )
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="with the telemetry experiment: write the full telemetry "
+             "record (instruments, series, spans, audit) as JSONL to PATH",
     )
     parser.add_argument(
         "--profile", nargs="?", const="-", default=None, metavar="DEST",
@@ -278,6 +308,11 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:  # bad --jobs / REPRO_JOBS
         parser.error(str(exc))
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    # fail fast — before spending minutes running the experiments
+    if args.telemetry_out is not None and names != ["telemetry"]:
+        parser.error("--telemetry-out requires the telemetry experiment")
+    if args.trace_out is not None and len(names) != 1:
+        parser.error("--trace-out requires a single experiment")
 
     def run_experiments() -> None:
         for name in names:
@@ -298,12 +333,38 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[profile] wrote {args.profile}", file=sys.stderr)
     else:
         run_experiments()
-    if args.trace_out is not None:
-        if "churn" not in names:
-            parser.error("--trace-out requires the churn experiment")
-        from repro.experiments.churn import export_churn_trace
+    if args.telemetry_out is not None:
+        from repro.telemetry import write_jsonl
 
-        count = export_churn_trace(args.trace_out, fast=args.fast)
+        report = LAST_TELEMETRY_REPORT
+        assert report is not None  # guaranteed: names == ["telemetry"]
+        count = write_jsonl(
+            args.telemetry_out, report.telemetry,
+            end_time_ns=report.end_time_ns,
+        )
+        # stderr: stdout must stay byte-identical with/without the flag
+        print(
+            f"[telemetry] wrote {count} records to {args.telemetry_out}",
+            file=sys.stderr,
+        )
+    if args.trace_out is not None:
+        if names[0] == "telemetry":
+            # export the report's own run: its trace recorder is live
+            from repro.metrics.chrome_trace import write_chrome_trace
+
+            report = LAST_TELEMETRY_REPORT
+            assert report is not None and report.trace is not None
+            count = write_chrome_trace(
+                args.trace_out, report.trace,
+                end_time=report.end_time_ns,
+                telemetry=report.telemetry.tracer,
+            )
+        else:
+            from repro.experiments.tracing import export_experiment_trace
+
+            count = export_experiment_trace(
+                names[0], args.trace_out, fast=args.fast
+            )
         # stderr: stdout must stay byte-identical with/without the flag
         print(
             f"[trace] wrote {count} events to {args.trace_out}",

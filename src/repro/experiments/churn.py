@@ -49,6 +49,7 @@ from repro.sim.units import MS, SEC
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.exec import SweepRunner
     from repro.sim.tracing import TraceRecorder
+    from repro.telemetry import Telemetry
 
 POLICIES = ("xen", "aql")
 
@@ -158,6 +159,7 @@ def _run_churn(
     measure_ns: int,
     seed: int = 0,
     trace: Optional["TraceRecorder"] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> tuple[ChurnRun, Machine]:
     """Build the base population, arm the timeline, run, measure."""
     if policy_name not in POLICIES:
@@ -165,7 +167,7 @@ def _run_churn(
     if measure_ns <= story.timeline.duration_ns:
         raise ValueError("measurement window ends before the last event")
     spec = replace(i7_3770(), cores_per_socket=story.pcpus, sockets=1)
-    machine = Machine(spec, seed=seed, trace=trace)
+    machine = Machine(spec, seed=seed, trace=trace, telemetry=telemetry)
     pool = machine.create_pool(
         "scenario", machine.topology.pcpus, 30 * MS
     )
@@ -353,14 +355,22 @@ def export_churn_trace(
     policy_name: str = "aql",
     seed: int = 0,
 ) -> int:
-    """Run one traced churn story and write a chrome://tracing JSON."""
+    """Run one traced churn story and write a chrome://tracing JSON.
+
+    The machine records both the raw scheduling trace (pCPU occupancy
+    tracks) and the telemetry span layer (quantum slices, vTRS periods,
+    AQL decisions, churn markers), so the exported document shows the
+    control plane above the timeline it reshaped.
+    """
     from repro.metrics.chrome_trace import CHROME_KINDS, write_chrome_trace
     from repro.sim.tracing import TraceRecorder
+    from repro.telemetry import Telemetry
 
     stories = {story.name: story for story in make_stories(fast)}
     story = stories[story_name]
     warmup, tail = _durations(fast)
     trace = TraceRecorder(enabled=True, kinds=set(CHROME_KINDS))
+    telemetry = Telemetry(enabled=True)
     _run, machine = _run_churn(
         story,
         policy_name,
@@ -368,8 +378,12 @@ def export_churn_trace(
         story.timeline.duration_ns + tail,
         seed=seed,
         trace=trace,
+        telemetry=telemetry,
     )
-    return write_chrome_trace(path, trace, end_time=machine.sim.now)
+    telemetry.tracer.close_all(machine.sim.now)
+    return write_chrome_trace(
+        path, trace, end_time=machine.sim.now, telemetry=telemetry.tracer
+    )
 
 
 __all__ = [

@@ -16,6 +16,7 @@ from repro.baselines.base import Policy
 from repro.core.types import VCpuType
 from repro.experiments.scenarios import BuiltScenario, Scenario, build_scenario
 from repro.sim.units import SEC
+from repro.telemetry import Telemetry
 from repro.workloads.base import PerfResult
 
 
@@ -31,6 +32,11 @@ class ScenarioRun:
     by_placement: dict[str, float] = field(default_factory=dict)
     detected_types: dict[int, VCpuType] = field(default_factory=dict)
     pool_layout: list[tuple[str, int, int, int]] = field(default_factory=list)
+    #: flat ``qualified-name -> value`` aggregate from the machine's
+    #: telemetry (empty unless run with ``telemetry=True``); plain
+    #: floats keyed by sorted strings, so it pickles through sweep
+    #: workers and the result cache without touching equivalence
+    telemetry_summary: dict[str, float] = field(default_factory=dict)
     #: the live machine when run with ``keep_built=True``; never
     #: serialized — a built scenario holds the whole simulator graph
     #: (RNG state, event queue, guest threads), which neither pickles
@@ -64,9 +70,19 @@ def run_scenario(
     measure_ns: int = 4 * SEC,
     seed: int = 0,
     keep_built: bool = False,
+    telemetry: bool = False,
 ) -> ScenarioRun:
-    """Build, configure, warm up, measure."""
-    built = build_scenario(scenario, seed=seed)
+    """Build, configure, warm up, measure.
+
+    With ``telemetry=True`` the machine records counters, spans and the
+    vTRS/AQL decision audit; the run's flat aggregate lands in
+    ``ScenarioRun.telemetry_summary`` and the full recorder stays
+    reachable via ``run.built.machine.telemetry`` when ``keep_built``.
+    Telemetry is a pure function of the virtual clock, so enabling it
+    never changes results — only records them.
+    """
+    recorder = Telemetry(enabled=True) if telemetry else None
+    built = build_scenario(scenario, seed=seed, telemetry=recorder)
     policy.setup(built.machine, built.ctx)
     built.machine.run(warmup_ns)
     for workload in built.workloads.values():
@@ -92,6 +108,9 @@ def run_scenario(
         (pool.name, pool.quantum_ns, len(pool.pcpus), len(pool.vcpus))
         for pool in built.machine.pools
     ]
+    if recorder is not None:
+        recorder.tracer.close_all(built.machine.sim.now)
+        run.telemetry_summary = recorder.summary()
     if keep_built:
         run.built = built
     return run

@@ -17,6 +17,8 @@ from repro.baselines.base import PolicyContext
 from repro.core.types import VCpuType
 from repro.hardware.specs import MachineSpec, i7_3770, xeon_e5_4603
 from repro.hypervisor.machine import Machine
+from repro.sim.tracing import TraceRecorder
+from repro.telemetry import Telemetry
 from repro.workloads.base import Workload
 from repro.workloads.io_workload import IoWorkload
 from repro.workloads.profiles import llco_profile
@@ -181,15 +183,19 @@ def build_scenario(
     scenario: Scenario,
     seed: int = 0,
     spec: Optional[MachineSpec] = None,
+    telemetry: Optional[Telemetry] = None,
+    trace: Optional[TraceRecorder] = None,
 ) -> BuiltScenario:
     """Instantiate VMs + workloads for a scenario.
 
     ConSpin and IO apps get one VM spanning their vCPUs (threads share
     memory / a service spans workers); CPU-burn apps get one 1-vCPU VM
     per unit, mirroring consolidated single-purpose cloud VMs.
+    ``telemetry``/``trace`` are handed to the machine unchanged (both
+    default to disabled recorders).
     """
     spec = spec or scenario.machine_spec()
-    machine = Machine(spec, seed=seed)
+    machine = Machine(spec, seed=seed, telemetry=telemetry, trace=trace)
     built = BuiltScenario(scenario=scenario, machine=machine)
 
     usable = [

@@ -1,0 +1,141 @@
+"""Representative traced runs: ``--trace-out`` for every CLI family.
+
+``python -m repro.experiments <name> --trace-out trace.json`` runs one
+*extra*, representative cell of that experiment family with both
+recording layers enabled — the raw scheduling trace (pCPU occupancy
+tracks) and the telemetry span layer (quantum slices, vTRS periods,
+AQL decisions) — and writes a combined ``chrome://tracing`` document.
+The traced run is separate from the experiment's own sweep, so stdout
+stays byte-identical with or without the flag, and cached sweep
+results keep replaying.
+
+Most families reduce to one scenario x policy run that shows what the
+family studies (S2 under AQL for the vTRS figures, S1 under fixed-Xen
+for calibration, the 48-vCPU Fig. 3 population for the multi-socket
+figures); churn delegates to its own story-driven exporter.  Traced
+runs use short windows — a trace of a few hundred milliseconds already
+spans several AQL decide periods and is big enough to inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import AqlPolicy, XenCredit
+from repro.baselines.base import Policy
+from repro.experiments.scenarios import (
+    FIG3_POPULATION,
+    SCENARIOS,
+    Scenario,
+    build_scenario,
+)
+from repro.sim.units import MS
+
+
+def export_scenario_trace(
+    path: str,
+    scenario: Scenario,
+    policy: Policy,
+    warmup_ns: int,
+    measure_ns: int,
+    seed: int = 0,
+) -> int:
+    """Run one scenario with both recorders on; write the chrome trace."""
+    from repro.metrics.chrome_trace import CHROME_KINDS, write_chrome_trace
+    from repro.sim.tracing import TraceRecorder
+    from repro.telemetry import Telemetry
+
+    trace = TraceRecorder(enabled=True, kinds=set(CHROME_KINDS))
+    telemetry = Telemetry(enabled=True)
+    built = build_scenario(
+        scenario, seed=seed, telemetry=telemetry, trace=trace
+    )
+    policy.setup(built.machine, built.ctx)
+    built.machine.run(warmup_ns)
+    for workload in built.workloads.values():
+        workload.begin_measurement()
+    built.machine.run(measure_ns)
+    built.machine.sync()
+    telemetry.tracer.close_all(built.machine.sim.now)
+    return write_chrome_trace(
+        path, trace, end_time=built.machine.sim.now,
+        telemetry=telemetry.tracer,
+    )
+
+
+@dataclass(frozen=True)
+class TracedRun:
+    """The representative traced run of one experiment family."""
+
+    scenario: str  # SCENARIOS key, or "fig3" for the multi-socket pop.
+    policy: str  # "xen" | "aql"
+    detail: str  # one line: why this run represents the family
+
+    def export(self, path: str, fast: bool = False, seed: int = 0) -> int:
+        scenario = (
+            FIG3_POPULATION if self.scenario == "fig3"
+            else SCENARIOS[self.scenario]
+        )
+        policy = XenCredit() if self.policy == "xen" else AqlPolicy()
+        warmup = 200 * MS if fast else 400 * MS
+        measure = 400 * MS if fast else 800 * MS
+        return export_scenario_trace(
+            path, scenario, policy, warmup, measure, seed=seed
+        )
+
+
+#: family -> its representative traced run ("churn" is story-driven and
+#: keeps its own exporter; see :func:`export_experiment_trace`)
+TRACED_RUNS: dict[str, TracedRun] = {
+    "fig2": TracedRun("S1", "xen",
+                      "fixed 30 ms quanta: the calibration baseline"),
+    "fig3": TracedRun("fig3", "aql",
+                      "the 48-vCPU population AQL clusters per socket"),
+    "fig4": TracedRun("S2", "aql",
+                      "vTRS re-typing an IO-heavy colocation online"),
+    "fig5": TracedRun("S3", "aql",
+                      "a CPU/LLC mix under per-cluster quanta"),
+    "fig6": TracedRun("S2", "aql",
+                      "the scenario whose clusters Table 5 reports"),
+    "fig7": TracedRun("S4", "aql",
+                      "four app types: quantum customisation visible"),
+    "fig8": TracedRun("S5", "aql",
+                      "the densest colocation the comparisons use"),
+    "table3": TracedRun("S1", "aql",
+                        "vTRS recognition over a small mixed population"),
+    "overhead": TracedRun("S2", "xen",
+                          "the baseline side of the overhead comparison"),
+    "ablations": TracedRun("S4", "aql",
+                           "BOOST/handoff effects on a 4-type scenario"),
+    "sync": TracedRun("S1", "aql",
+                      "ConSpin threads under a spin-aware quantum"),
+    "window": TracedRun("S3", "aql",
+                        "the population the window sweep re-types"),
+    "random": TracedRun("S5", "aql",
+                        "a dense mix like the random colocations"),
+}
+
+
+def export_experiment_trace(
+    family: str, path: str, fast: bool = False, seed: int = 0
+) -> int:
+    """Write ``family``'s representative chrome trace; returns #events."""
+    if family == "churn":
+        from repro.experiments.churn import export_churn_trace
+
+        return export_churn_trace(path, fast=fast, seed=seed)
+    try:
+        traced = TRACED_RUNS[family]
+    except KeyError:
+        raise ValueError(
+            f"no traced run registered for experiment {family!r}"
+        ) from None
+    return traced.export(path, fast=fast, seed=seed)
+
+
+__all__ = [
+    "TRACED_RUNS",
+    "TracedRun",
+    "export_experiment_trace",
+    "export_scenario_trace",
+]

@@ -262,6 +262,9 @@ class CreditScheduler:
         period — Xen's cap semantics at accounting granularity.
         """
         del vcpus  # credits are pool-scoped; kept for interface clarity
+        telemetry = self.machine.telemetry
+        if telemetry.enabled:
+            telemetry.registry.counter("accounting_passes").inc()
         clip = self.params.credit_clip
         per_pcpu = (
             self.params.credits_per_tick
@@ -276,6 +279,10 @@ class CreditScheduler:
             throttle = consumed > allowed
             for vcpu in vm.vcpus:
                 vcpu.throttled = throttle
+            if throttle and telemetry.enabled:
+                telemetry.registry.counter(
+                    "cap_throttles", vm=vm.name
+                ).inc()
         for vcpu in self.machine.all_vcpus:
             vcpu.run_since_acct = 0.0
         for pool in self.machine.pools:

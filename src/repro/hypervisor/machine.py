@@ -45,6 +45,7 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
 from repro.sim.tracing import TraceRecorder
 from repro.sim.units import MS
+from repro.telemetry import PoolChange, Telemetry
 
 #: A compute phase with fewer remaining instructions than this is done.
 _PHASE_DONE_TOLERANCE = 0.5
@@ -58,6 +59,7 @@ class PCpuContext:
 
     __slots__ = (
         "pcpu", "pool", "current", "runq", "tick_event", "tick_fn", "offline",
+        "slice_span",
     )
 
     def __init__(self, pcpu: PCpu, pool: CpuPool) -> None:
@@ -71,6 +73,8 @@ class PCpuContext:
         #: must not allocate a fresh closure each time
         self.tick_fn = None
         self.offline = False
+        #: the open telemetry quantum-slice span, when telemetry is on
+        self.slice_span = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         cur = self.current.name if self.current else "idle"
@@ -90,6 +94,7 @@ class Machine:
         tick_ns: int = 10 * MS,
         accounting_ns: int = 30 * MS,
         trace: Optional[TraceRecorder] = None,
+        telemetry: Optional[Telemetry] = None,
         cache_substeps: int = 8,
     ):
         self.spec = spec or i7_3770()
@@ -99,6 +104,12 @@ class Machine:
         # note: `trace or default` would drop an *empty* recorder
         # (TraceRecorder defines __len__), so compare with None
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        # same None-comparison discipline; the disabled default keeps
+        # every emit site down to one attribute check
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry(enabled=False)
+        )
+        self.sim.telemetry = self.telemetry
         self.params = CreditParams(
             tick_ns=tick_ns,
             accounting_ns=accounting_ns,
@@ -280,6 +291,10 @@ class Machine:
         ctx = self.scheduler.enqueue(vcpu, front=vcpu.priority == Priority.BOOST)
         if self.trace.enabled:
             self.trace.emit(self.sim.now, "wake", vcpu=vcpu.name, boost=vcpu.priority == Priority.BOOST)
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter("wakes", vcpu=vcpu.name).inc()
+            if vcpu.priority == Priority.BOOST:
+                self.telemetry.registry.counter("boost_wakes").inc()
         self._kick(ctx)
 
     def _kick(self, ctx: PCpuContext) -> None:
@@ -294,6 +309,17 @@ class Machine:
     # ==================================================================
     # dispatch / deschedule
     # ==================================================================
+    def _close_slice(self, ctx: PCpuContext, reason: str) -> None:
+        """End the open quantum-slice span of ``ctx`` (telemetry on)."""
+        span = ctx.slice_span
+        if span is None:
+            return
+        ctx.slice_span = None
+        self.telemetry.tracer.end(self.sim.now, span, reason=reason)
+        self.telemetry.registry.histogram("slice_ns").observe(
+            float(span.duration_ns)
+        )
+
     def _reschedule(self, ctx: PCpuContext, requeue_front: bool = False) -> None:
         current = ctx.current
         if current is not None:
@@ -306,6 +332,11 @@ class Machine:
             current.priority = self.scheduler.priority_for(current)
             if self.trace.enabled:
                 self.trace.emit(self.sim.now, "desched", vcpu=current.name)
+            if self.telemetry.enabled:
+                self._close_slice(
+                    ctx,
+                    "preempt" if current.exhausted_last_quantum else "resched",
+                )
             if current.throttled:
                 self._parked.append(current)
             else:
@@ -330,6 +361,16 @@ class Machine:
             self.trace.emit(
                 self.sim.now, "dispatch", vcpu=vcpu.name, pcpu=ctx.pcpu.cpu_id, quantum=quantum
             )
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter("dispatches", vcpu=vcpu.name).inc()
+            ctx.slice_span = self.telemetry.tracer.begin(
+                self.sim.now,
+                vcpu.name,
+                track=f"pcpu{ctx.pcpu.cpu_id}",
+                category="quantum_slice",
+                quantum_ns=quantum,
+                pool=ctx.pool.name,
+            )
         self._start_segment(vcpu)
 
     def _on_quantum_expire(self, ctx: PCpuContext, vcpu: VCpu) -> None:
@@ -338,6 +379,8 @@ class Machine:
         vcpu.exhausted_last_quantum = True
         if self.trace.enabled:
             self.trace.emit(self.sim.now, "preempt", vcpu=vcpu.name)
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter("preempts", vcpu=vcpu.name).inc()
         self._reschedule(ctx)
 
     def _deschedule_current(self, ctx: PCpuContext) -> Optional[VCpu]:
@@ -359,6 +402,8 @@ class Machine:
         ctx.current = None
         if self.trace.enabled:
             self.trace.emit(self.sim.now, "desched", vcpu=current.name)
+        if self.telemetry.enabled:
+            self._close_slice(ctx, "desched")
         return current
 
     def _block_vcpu(self, vcpu: VCpu) -> None:
@@ -375,6 +420,9 @@ class Machine:
         ctx.current = None
         if self.trace.enabled:
             self.trace.emit(self.sim.now, "block", vcpu=vcpu.name)
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter("blocks", vcpu=vcpu.name).inc()
+            self._close_slice(ctx, "block")
         self._reschedule(ctx)
 
     def _cancel_events(self, vcpu: VCpu) -> None:
@@ -765,7 +813,26 @@ class Machine:
                     self._reschedule(ctx)
             elif len(ctx.runq):
                 self._reschedule(ctx)
+        if self.telemetry.enabled:
+            self._sample_telemetry()
         self._schedule_accounting()
+
+    def _sample_telemetry(self) -> None:
+        """Refresh gauges and push one ring-buffer sample (per accounting)."""
+        registry = self.telemetry.registry
+        for pool in self.pools:
+            if pool.pcpus:
+                registry.gauge("pool_load", pool=pool.name).set(pool.load)
+            registry.gauge("pool_vcpus", pool=pool.name).set(
+                float(len(pool.vcpus))
+            )
+            registry.gauge("pool_quantum_ns", pool=pool.name).set(
+                float(pool.quantum_ns)
+            )
+        registry.gauge("vms_alive").set(float(len(self.vms)))
+        registry.gauge("migrations_total").set(float(self.migrations_total))
+        registry.gauge("parked_vcpus").set(float(len(self._parked)))
+        registry.sample(self.sim.now)
 
     # ==================================================================
     # lifecycle: VM teardown and pCPU fault injection
@@ -809,6 +876,23 @@ class Machine:
         self.vms.remove(vm)
         self.retired_vms.append(vm)
         self.trace.emit(self.sim.now, "vm-shutdown", vm=vm.name)
+        if self.telemetry.enabled:
+            self.telemetry.tracer.instant(
+                self.sim.now, "vm-shutdown", track="machine", vm=vm.name
+            )
+            self.telemetry.registry.counter("vm_shutdowns").inc()
+
+    def _record_pool_change(self, kind: str, detail: str) -> None:
+        """Append the current pool layout to the telemetry ledger."""
+        self.telemetry.audit.record_pool_change(
+            PoolChange(
+                time_ns=self.sim.now,
+                kind=kind,
+                detail=detail,
+                migrations_total=self.migrations_total,
+                pools=tuple(p.describe() for p in self.pools),
+            )
+        )
 
     def _maybe_collapse_pool(self, pool: CpuPool) -> None:
         """An emptied non-default pool returns its pCPUs to the default."""
@@ -818,6 +902,10 @@ class Machine:
             self.default_pool.add_pcpu(pcpu)
             self.contexts[pcpu].pool = self.default_pool
         self.pools.remove(pool)
+        if self.telemetry.enabled:
+            self._record_pool_change(
+                "collapse", f"{pool.name} emptied into {self.default_pool.name}"
+            )
 
     def offline_pcpu(self, pcpu: PCpu) -> None:
         """Fault injection: a pCPU disappears mid-run.
@@ -855,6 +943,10 @@ class Machine:
                 self.migrations_total += 1
             if pool in self.pools and pool is not self.default_pool:
                 self.pools.remove(pool)
+            if self.telemetry.enabled:
+                self._record_pool_change(
+                    "absorb", f"{pool.name} orphans absorbed by {refuge.name}"
+                )
         for vcpu in displaced:
             if vcpu.throttled:
                 if vcpu not in self._parked:
@@ -863,6 +955,11 @@ class Machine:
             target = self.scheduler.enqueue(vcpu)
             self._kick(target)
         self.trace.emit(self.sim.now, "pcpu-offline", pcpu=pcpu.cpu_id)
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter("pcpu_offlines").inc()
+            self._record_pool_change(
+                "offline", f"pcpu{pcpu.cpu_id} left {pool.name}"
+            )
 
     def _absorbing_pool(self) -> CpuPool:
         """Where orphaned vCPUs go: the least-loaded pool with cores."""
@@ -900,6 +997,11 @@ class Machine:
             self._schedule_tick(ctx)
             self._reschedule(ctx)  # work-steal from pool siblings now
         self.trace.emit(self.sim.now, "pcpu-online", pcpu=pcpu.cpu_id)
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter("pcpu_onlines").inc()
+            self._record_pool_change(
+                "online", f"pcpu{pcpu.cpu_id} joined {target.name}"
+            )
 
     # ==================================================================
     # pool reconfiguration (what AQL drives)
@@ -952,6 +1054,18 @@ class Machine:
             if ctx.current is None and len(ctx.runq):
                 self._reschedule(ctx)
         self.trace.emit(self.sim.now, "pool-plan", pools=len(plan))
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter("pool_plans_applied").inc()
+            self.telemetry.tracer.instant(
+                self.sim.now, "pool-plan", track="machine", pools=len(plan)
+            )
+            self._record_pool_change(
+                "plan",
+                ", ".join(
+                    f"{name}(q={q // MS}ms,{len(ps)}p,{len(vs)}v)"
+                    for name, ps, q, vs in plan.entries
+                ),
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -66,6 +66,10 @@ class CpuPool:
             return float("inf") if self.vcpus else 0.0
         return len(self.vcpus) / len(self.pcpus)
 
+    def describe(self) -> tuple[str, int, int, int]:
+        """``(name, quantum_ns, #pcpus, #vcpus)`` — the ledger row shape."""
+        return (self.name, self.quantum_ns, len(self.pcpus), len(self.vcpus))
+
     def __contains__(self, item: object) -> bool:
         return item in self.vcpus or item in self.pcpus
 
@@ -86,6 +90,11 @@ class PoolPlan:
 
     def __init__(self) -> None:
         self.entries: list[tuple[str, list["PCpu"], int, list["VCpu"]]] = []
+        #: (vcpu_id, reason) for every vCPU the clustering placed in a
+        #: default-quantum pool instead of its type's calibrated one —
+        #: carried alongside the entries so the decision audit can
+        #: record *why* a placement deviated
+        self.spills: list[tuple[int, str]] = []
 
     def add(
         self,
@@ -123,6 +132,20 @@ class PoolPlan:
         uncovered = [p for p in all_pcpu_set if p not in seen_pcpus]
         if uncovered:
             raise ValueError(f"plan leaves pCPUs unassigned: {uncovered}")
+
+    def describe(
+        self,
+    ) -> tuple[tuple[str, int, tuple[int, ...], tuple[int, ...]], ...]:
+        """Plain-data view: ``(name, quantum, pcpu ids, vcpu ids)`` rows."""
+        return tuple(
+            (
+                name,
+                quantum_ns,
+                tuple(p.cpu_id for p in pcpus),
+                tuple(sorted(v.vcpu_id for v in vcpus)),
+            )
+            for name, pcpus, quantum_ns, vcpus in self.entries
+        )
 
     def __len__(self) -> int:
         return len(self.entries)

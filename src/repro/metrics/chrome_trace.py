@@ -8,6 +8,13 @@ pCPU faults and every churn event — as global instant ("i") events,
 so adaptation lag is literally visible as the gap between the instant
 marker and the layout change on the tracks.
 
+Telemetry spans (:class:`repro.telemetry.SpanTracer`) render as a
+second process: one tid per span track (``pcpu0..N``, ``aql``,
+``engine``, ``machine``, ``churn``), begin/end spans as complete
+("X") slices and zero-duration markers as thread-scoped instants, so
+quantum slices line up under the vTRS periods and AQL decisions that
+produced them.
+
 All timestamps are microseconds (the trace_event unit); the simulator
 runs in integer nanoseconds, so slices keep sub-µs precision via
 fractional ``ts``/``dur``.
@@ -16,10 +23,17 @@ fractional ``ts``/``dur``.
 from __future__ import annotations
 
 import json
-from typing import Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.metrics.timeline import TIMELINE_KINDS, build_timeline
 from repro.sim.tracing import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry import SpanTracer
+
+#: pid of the telemetry-span process in the exported document (the
+#: machine timeline owns pid 0)
+TELEMETRY_PID = 1
 
 #: trace kinds rendered as instant markers
 INSTANT_KINDS = (
@@ -98,18 +112,73 @@ def _jsonable(value: object) -> Union[str, int, float, bool, None]:
     return str(value)
 
 
-def to_chrome_trace(trace: TraceRecorder, end_time: int) -> dict:
+def span_trace_events(tracer: "SpanTracer") -> list[dict]:
+    """Telemetry spans as trace events (own process, one tid per track)."""
+    tracks = {track: tid for tid, track in enumerate(sorted(tracer.tracks()))}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TELEMETRY_PID,
+            "tid": 0,
+            "args": {"name": "telemetry"},
+        }
+    ]
+    for track, tid in tracks.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TELEMETRY_PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in tracer.spans():
+        args = {k: _jsonable(v) for k, v in sorted(span.args.items())}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        event = {
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start_ns / 1000.0,
+            "pid": TELEMETRY_PID,
+            "tid": tracks[span.track],
+            "args": args,
+        }
+        if span.end_ns == span.start_ns:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread scope: a marker on its own track
+        else:
+            event["ph"] = "X"
+            event["dur"] = span.duration_ns / 1000.0
+        events.append(event)
+    return events
+
+
+def to_chrome_trace(
+    trace: TraceRecorder,
+    end_time: int,
+    telemetry: Optional["SpanTracer"] = None,
+) -> dict:
+    events = chrome_trace_events(trace, end_time)
+    if telemetry is not None:
+        events.extend(span_trace_events(telemetry))
     return {
-        "traceEvents": chrome_trace_events(trace, end_time),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
     }
 
 
 def write_chrome_trace(
-    path: str, trace: TraceRecorder, end_time: int
+    path: str,
+    trace: TraceRecorder,
+    end_time: int,
+    telemetry: Optional["SpanTracer"] = None,
 ) -> int:
     """Write the JSON document; returns the number of trace events."""
-    doc = to_chrome_trace(trace, end_time)
+    doc = to_chrome_trace(trace, end_time, telemetry=telemetry)
     with open(path, "w") as fh:
         json.dump(doc, fh, separators=(",", ":"))
         fh.write("\n")
@@ -119,7 +188,9 @@ def write_chrome_trace(
 __all__ = [
     "CHROME_KINDS",
     "INSTANT_KINDS",
+    "TELEMETRY_PID",
     "chrome_trace_events",
+    "span_trace_events",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Mapping, Union
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.calibration import CalibrationResult
@@ -18,16 +18,27 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 Row = Mapping[str, object]
 
 
-def write_csv(path: Union[str, Path], rows: Iterable[Row]) -> Path:
-    """Write dict-rows to ``path``; the header is the union of keys."""
+def write_csv(
+    path: Union[str, Path],
+    rows: Iterable[Row],
+    fieldnames: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write dict-rows to ``path``; the header is the union of keys.
+
+    An empty row set is representable only when ``fieldnames`` pins the
+    header (a sweep that filtered everything out still produces a valid
+    header-only file downstream tools can load); with neither rows nor
+    fieldnames there is no schema to write, so it stays an error.
+    """
     rows = list(rows)
-    if not rows:
-        raise ValueError("nothing to export")
-    fieldnames: list[str] = []
-    for row in rows:
-        for key in row:
-            if key not in fieldnames:
-                fieldnames.append(key)
+    if fieldnames is None:
+        if not rows:
+            raise ValueError("nothing to export")
+        fieldnames = []
+        for row in rows:
+            for key in row:
+                if key not in fieldnames:
+                    fieldnames.append(key)
     path = Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=fieldnames)
@@ -79,4 +90,30 @@ def scenario_rows(run: "ScenarioRun") -> list[dict]:
     return rows
 
 
-__all__ = ["write_csv", "calibration_rows", "scenario_rows"]
+def telemetry_rows(run: "ScenarioRun") -> list[dict]:
+    """A run's telemetry summary as rows: one per qualified counter.
+
+    Empty when the run was not instrumented (``telemetry=False``) —
+    pair with ``write_csv(..., fieldnames=...)`` to still emit a valid
+    header-only file in that case.
+    """
+    return [
+        {
+            "scenario": run.scenario,
+            "policy": run.policy,
+            "counter": key,
+            "value": value,
+        }
+        for key, value in sorted(run.telemetry_summary.items())
+    ]
+
+
+TELEMETRY_FIELDNAMES = ("scenario", "policy", "counter", "value")
+
+__all__ = [
+    "TELEMETRY_FIELDNAMES",
+    "write_csv",
+    "calibration_rows",
+    "scenario_rows",
+    "telemetry_rows",
+]

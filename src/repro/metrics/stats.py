@@ -5,15 +5,68 @@ produces a :class:`MachineStats` summary at the end — the numbers an
 operator would pull from ``xentop``/``xl`` to sanity-check a scheduler:
 per-vCPU CPU shares, pool utilization, dispatch/migration counts, IO
 and spin totals.
+
+:func:`percentile` / :func:`series_summary` are the shared series
+helpers (telemetry ring-buffer series, latency distributions); they
+are explicit about the degenerate inputs that bit ad-hoc copies — an
+empty series has no percentiles (clear ``ValueError``, not an index
+crash) and a single sample *is* every percentile.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hypervisor.machine import Machine
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation between ranks).
+
+    ``q`` runs 0..100.  A single-sample series returns that sample for
+    every ``q``; an empty series raises ``ValueError`` (there is no
+    value to report, and silently returning 0 would fabricate one).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    data = sorted(values)
+    if not data:
+        raise ValueError("empty series has no percentiles")
+    if len(data) == 1:
+        return data[0]
+    position = (len(data) - 1) * (q / 100.0)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return data[lower]
+    fraction = position - lower
+    return data[lower] * (1.0 - fraction) + data[upper] * fraction
+
+
+def series_summary(values: Iterable[float]) -> dict[str, float]:
+    """count/min/mean/max/p50/p95/p99 of a series; zeros when empty.
+
+    Total (never raises): summarising "no samples yet" is a legitimate
+    question — ``count == 0`` marks the other fields as vacuous.
+    """
+    data = sorted(values)
+    if not data:
+        return {
+            "count": 0.0, "min": 0.0, "mean": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+    return {
+        "count": float(len(data)),
+        "min": data[0],
+        "mean": sum(data) / len(data),
+        "max": data[-1],
+        "p50": percentile(data, 50.0),
+        "p95": percentile(data, 95.0),
+        "p99": percentile(data, 99.0),
+    }
 
 
 @dataclass
@@ -124,4 +177,9 @@ class StatsCollector:
         return stats
 
 
-__all__ = ["MachineStats", "StatsCollector"]
+__all__ = [
+    "MachineStats",
+    "StatsCollector",
+    "percentile",
+    "series_summary",
+]

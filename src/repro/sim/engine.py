@@ -41,7 +41,10 @@ from __future__ import annotations
 
 import os
 from heapq import heappop, heappush
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.telemetry import Telemetry
 
 #: Width of one timer-wheel slot.  1 ms divides every periodic cadence
 #: the hypervisor uses (1–30 ms quanta, 10 ms ticks, 30 ms accounting
@@ -101,6 +104,7 @@ class Simulator:
     __slots__ = (
         "kernel",
         "now",
+        "telemetry",
         "_heap",
         "_seq",
         "_events_fired",
@@ -122,6 +126,10 @@ class Simulator:
             )
         self.kernel = kernel
         self.now: int = 0
+        #: optional observability sink; spans are emitted only around
+        #: whole run_until calls (never inside the pop loop), so a
+        #: disabled — or absent — Telemetry costs one None check per run
+        self.telemetry: Optional["Telemetry"] = None
         #: (time, seq, Event) tuples — C-level comparisons, no __lt__
         self._heap: list[tuple[int, int, Event]] = []
         self._seq: int = 0
@@ -239,10 +247,20 @@ class Simulator:
         if self._running:
             raise SimulationError("re-entrant run_until")
         self._running = True
+        # telemetry spans bracket whole run_until calls, outside the pop
+        # loop — the loop itself stays untouched by observability
+        telemetry = self.telemetry
+        span = None
+        if telemetry is not None and telemetry.enabled:
+            span = telemetry.tracer.begin(
+                self.now, "run_until", track="engine", category="engine",
+                end_time=end_time,
+            )
         # hot loop: heap ops and the fired counter live in locals; the
         # counter is synced back in the finally block so events_fired is
         # exact on every exit path (including a raising callback)
-        fired = self._events_fired
+        start_fired = self._events_fired
+        fired = start_fired
         heap = self._heap
         pop = heappop
         try:
@@ -284,6 +302,13 @@ class Simulator:
         finally:
             self._events_fired = fired
             self._running = False
+            if span is not None and telemetry is not None:
+                telemetry.tracer.end(
+                    self.now, span, events_fired=fired - start_fired
+                )
+                telemetry.registry.gauge("engine_events_fired").set(
+                    float(fired)
+                )
 
     def step(self) -> Optional[Event]:
         """Fire the single next pending event; return it (None if empty).

@@ -13,6 +13,7 @@ import pytest
 
 from repro.baselines import AqlPolicy, XenCredit
 from repro.exec import Cell, ResultCache, SweepRunner, resolve_jobs
+from repro.exec.runner import aggregate_telemetry
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import AppPlacement, Scenario
 from repro.sim.units import MS
@@ -123,6 +124,69 @@ class TestCacheReplay:
         ).run(cells)
         assert [r.outcome for r in reports] == ["hit", "hit"]
         assert all(r.key is not None for r in reports)
+
+
+def telemetry_cells():
+    """The grid again, with telemetry aggregation turned on."""
+    return [
+        Cell(
+            run_scenario,
+            dict(
+                scenario=scenario, policy=policy, warmup_ns=WARMUP_NS,
+                measure_ns=MEASURE_NS, seed=5, telemetry=True,
+            ),
+            label=f"tel:{scenario.name}:{policy.name}",
+        )
+        for scenario in GRID_SCENARIOS
+        for policy in (XenCredit(), AqlPolicy())
+    ]
+
+
+class TestTelemetryEquivalence:
+    """Telemetry is recorded off the virtual clock only, so turning it
+    on changes no result, and the summaries themselves are part of the
+    serial ≡ parallel ≡ cached contract."""
+
+    def test_telemetry_never_changes_results(self):
+        plain = SweepRunner(jobs=1).run(grid_cells())
+        instrumented = SweepRunner(jobs=1).run(telemetry_cells())
+        for bare, telemetered in zip(plain, instrumented):
+            assert bare.by_placement == telemetered.by_placement
+            assert bare.results == telemetered.results
+            assert bare.detected_types == telemetered.detected_types
+            assert not bare.telemetry_summary
+            assert telemetered.telemetry_summary
+
+    def test_summaries_identical_serial_parallel_cached(self, tmp_path):
+        serial = SweepRunner(jobs=1).run(telemetry_cells())
+        parallel = SweepRunner(jobs=4).run(telemetry_cells())
+        SweepRunner(jobs=1, cache=ResultCache(root=tmp_path)).run(
+            telemetry_cells()
+        )
+        cache = ResultCache(root=tmp_path)
+        cached = SweepRunner(jobs=1, cache=cache).run(telemetry_cells())
+        assert cache.stats.hits == 4
+        for ours, theirs, replayed in zip(serial, parallel, cached):
+            # exact float equality: determinism, not tolerance
+            assert ours.telemetry_summary == theirs.telemetry_summary
+            assert ours.telemetry_summary == replayed.telemetry_summary
+        # ... and so is the sweep-level aggregate
+        assert aggregate_telemetry(serial) == aggregate_telemetry(parallel)
+        assert aggregate_telemetry(serial) == aggregate_telemetry(cached)
+
+    def test_aggregate_telemetry_sums_and_counts(self):
+        runs = SweepRunner(jobs=1).run(telemetry_cells())
+        aggregate = aggregate_telemetry(runs)
+        assert aggregate["telemetry_runs"] == 4.0
+        assert list(k for k in aggregate if k != "telemetry_runs") == sorted(
+            k for k in aggregate if k != "telemetry_runs"
+        )
+        total_flips = sum(
+            run.telemetry_summary.get("audit_type_flips", 0.0) for run in runs
+        )
+        assert aggregate["audit_type_flips"] == total_flips
+        # uninstrumented results contribute nothing
+        assert aggregate_telemetry(SweepRunner(jobs=1).run(grid_cells())) == {}
 
 
 class TestScenarioRunPickling:

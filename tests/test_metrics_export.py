@@ -1,0 +1,85 @@
+"""Dedicated tests for the CSV export module (repro.metrics.export)."""
+
+import csv
+
+import pytest
+
+from repro.experiments.runner import ScenarioRun
+from repro.metrics.export import (
+    TELEMETRY_FIELDNAMES,
+    telemetry_rows,
+    write_csv,
+)
+from repro.workloads.base import PerfResult
+
+
+def _read(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriteCsv:
+    def test_header_is_union_of_keys_in_first_seen_order(self, tmp_path):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "c": 4}]
+        path = write_csv(tmp_path / "out.csv", rows)
+        parsed = _read(path)
+        assert parsed[0] == ["a", "b", "c"]
+        assert parsed[1] == ["1", "2", ""]
+        assert parsed[2] == ["3", "", "4"]
+
+    def test_empty_rows_without_fieldnames_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="nothing to export"):
+            write_csv(tmp_path / "out.csv", [])
+
+    def test_empty_rows_with_fieldnames_writes_header_only(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", [], fieldnames=("x", "y"))
+        assert _read(path) == [["x", "y"]]
+
+    def test_explicit_fieldnames_pin_column_order(self, tmp_path):
+        path = write_csv(
+            tmp_path / "out.csv", [{"b": 2, "a": 1}], fieldnames=("a", "b")
+        )
+        assert _read(path) == [["a", "b"], ["1", "2"]]
+
+    def test_single_row_single_column(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", [{"only": 7}])
+        assert _read(path) == [["only"], ["7"]]
+
+
+class TestTelemetryRows:
+    def _run(self, summary):
+        run = ScenarioRun(scenario="S2", policy="aql")
+        run.telemetry_summary = summary
+        return run
+
+    def test_rows_sorted_by_counter(self):
+        run = self._run({"z": 1.0, "a{vcpu=web.0}": 2.0})
+        rows = telemetry_rows(run)
+        assert [row["counter"] for row in rows] == ["a{vcpu=web.0}", "z"]
+        assert rows[0] == {
+            "scenario": "S2", "policy": "aql",
+            "counter": "a{vcpu=web.0}", "value": 2.0,
+        }
+
+    def test_uninstrumented_run_yields_no_rows_but_valid_csv(self, tmp_path):
+        rows = telemetry_rows(self._run({}))
+        assert rows == []
+        path = write_csv(
+            tmp_path / "tel.csv", rows, fieldnames=TELEMETRY_FIELDNAMES
+        )
+        assert _read(path) == [list(TELEMETRY_FIELDNAMES)]
+
+
+class TestScenarioRowsRoundtrip:
+    def test_details_flattened_with_prefix(self, tmp_path):
+        run = ScenarioRun(scenario="S1", policy="xen")
+        run.results["app"] = PerfResult(
+            name="app", metric="runtime", value=1.5,
+            details=(("window_ns", 100),),
+        )
+        from repro.metrics.export import scenario_rows
+
+        rows = scenario_rows(run)
+        assert rows[0]["detail_window_ns"] == 100
+        parsed = _read(write_csv(tmp_path / "s.csv", rows))
+        assert "detail_window_ns" in parsed[0]

@@ -1,12 +1,73 @@
-"""Tests for the machine statistics collector."""
+"""Tests for the machine statistics collector and series helpers."""
 
 import pytest
 
 from repro.guest.phases import Compute
 from repro.guest.thread import GuestThread
 from repro.hypervisor.machine import Machine
-from repro.metrics.stats import StatsCollector
+from repro.metrics.stats import StatsCollector, percentile, series_summary
 from repro.sim.units import MS, SEC
+
+
+class TestPercentile:
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError, match="empty series"):
+            percentile([], 50.0)
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0, 2.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], -0.1)
+
+    def test_endpoints_and_median(self):
+        data = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 100.0) == 4.0
+        assert percentile(data, 50.0) == pytest.approx(2.5)
+
+    def test_linear_interpolation(self):
+        # 5 points, rank positions 0..4: p90 sits 0.6 between 4 and 5
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 90.0) == (
+            pytest.approx(4.6)
+        )
+
+    def test_input_order_irrelevant(self):
+        assert percentile([5.0, 1.0, 3.0], 50.0) == percentile(
+            [1.0, 3.0, 5.0], 50.0
+        )
+
+
+class TestSeriesSummary:
+    def test_empty_series_total_zeros(self):
+        summary = series_summary([])
+        assert summary["count"] == 0.0
+        assert summary == {
+            "count": 0.0, "min": 0.0, "mean": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_single_sample(self):
+        summary = series_summary([3.0])
+        assert summary["count"] == 1.0
+        assert (
+            summary["min"] == summary["mean"] == summary["max"]
+            == summary["p50"] == summary["p99"] == 3.0
+        )
+
+    def test_known_distribution(self):
+        summary = series_summary(float(i) for i in range(1, 101))
+        assert summary["count"] == 100.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
 
 
 def hog_body(thread):

@@ -1,0 +1,142 @@
+"""Unit tests for the telemetry registry and its exposition formats."""
+
+import pytest
+
+from repro.telemetry import (
+    Telemetry,
+    TelemetryRegistry,
+    prometheus_text,
+    qualified_name,
+)
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    RingBuffer,
+    canonical_labels,
+)
+
+
+class TestRingBuffer:
+    def test_fills_then_wraps_oldest_first(self):
+        ring = RingBuffer(capacity=3)
+        for i in range(5):
+            ring.push(i * 10, float(i))
+        assert len(ring) == 3
+        assert ring.items() == [(20, 2.0), (30, 3.0), (40, 4.0)]
+
+    def test_partial_fill_keeps_order(self):
+        ring = RingBuffer(capacity=8)
+        ring.push(1, 1.0)
+        ring.push(2, 2.0)
+        assert ring.items() == [(1, 1.0), (2, 2.0)]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingBuffer(capacity=0)
+
+
+class TestInstruments:
+    def test_counter_get_or_create_identity(self):
+        registry = TelemetryRegistry()
+        a = registry.counter("dispatches", vcpu="web.0")
+        b = registry.counter("dispatches", vcpu="web.0")
+        other = registry.counter("dispatches", vcpu="web.1")
+        assert a is b
+        assert a is not other
+        a.inc()
+        a.inc(2.0)
+        assert b.value == 3.0
+
+    def test_same_name_different_kind_distinct(self):
+        registry = TelemetryRegistry()
+        counter = registry.counter("load")
+        gauge = registry.gauge("load")
+        assert counter is not gauge
+        assert len(registry) == 2
+
+    def test_gauge_set_and_add(self):
+        gauge = TelemetryRegistry().gauge("pool_load", pool="s0.C1")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_buckets_min_max_mean(self):
+        hist = TelemetryRegistry().histogram("slice_ns")
+        for value in (5_000.0, 50_000.0, 40_000_000.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.min == 5_000.0
+        assert hist.max == 40_000_000.0
+        assert hist.mean() == pytest.approx(13_351_666.6667)
+        # bucket_counts has one overflow slot beyond the last bound
+        assert len(hist.bucket_counts) == len(DEFAULT_BUCKETS) + 1
+        assert hist.bucket_counts[0] == 1  # <= 10_000
+        assert sum(hist.bucket_counts) == 3
+        # value mirrors count so sampling treats it like a counter
+        assert hist.value == 3.0
+
+    def test_labels_canonicalised(self):
+        assert canonical_labels({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+        assert qualified_name("m", canonical_labels({"b": 1, "a": 2})) == (
+            "m{a=2,b=1}"
+        )
+        assert qualified_name("m", ()) == "m"
+
+
+class TestSamplingAndSummary:
+    def test_sample_pushes_every_instrument(self):
+        registry = TelemetryRegistry(ring=4)
+        counter = registry.counter("events")
+        counter.inc(5.0)
+        registry.sample(100)
+        counter.inc()
+        registry.sample(200)
+        assert registry.series_of("events") == [(100, 5.0), (200, 6.0)]
+        assert registry.series_of("missing") == []
+        assert registry.samples_taken == 2
+
+    def test_summary_sorted_flat_and_picklable(self):
+        import pickle
+
+        registry = TelemetryRegistry()
+        registry.counter("z_metric").inc()
+        registry.counter("a_metric", vcpu="web.0").inc(2.0)
+        summary = registry.summary()
+        assert list(summary) == sorted(summary)
+        assert summary["a_metric{vcpu=web.0}"] == 2.0
+        assert pickle.loads(pickle.dumps(summary)) == summary
+
+    def test_telemetry_facade_summary_merges_audit_and_spans(self):
+        telemetry = Telemetry(enabled=True)
+        telemetry.registry.counter("x").inc()
+        telemetry.tracer.instant(10, "mark")
+        summary = telemetry.summary()
+        assert summary["x"] == 1.0
+        assert summary["spans_recorded"] == 1.0
+        assert summary["audit_type_flips"] == 0.0
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = TelemetryRegistry()
+        registry.counter("dispatches", vcpu="web.0").inc(7.0)
+        registry.gauge("pool_load").set(1.5)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_dispatches counter" in text
+        assert 'repro_dispatches{vcpu="web.0"} 7.0' in text
+        assert "repro_pool_load 1.5" in text
+
+    def test_histogram_cumulative_buckets(self):
+        registry = TelemetryRegistry()
+        hist = registry.histogram("lat", bounds=(10.0, 100.0))
+        hist.observe(5.0)
+        hist.observe(50.0)
+        hist.observe(5000.0)
+        text = prometheus_text(registry)
+        assert 'repro_lat_bucket{le="10.0"} 1' in text
+        assert 'repro_lat_bucket{le="100.0"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_sum 5055.0" in text
+        assert "repro_lat_count 3" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(TelemetryRegistry()) == ""

@@ -1,0 +1,152 @@
+"""Span tracer tests: structural nesting, and the Hypothesis property
+that begin/end nesting stays well-formed under random op schedules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry import SpanError, SpanTracer
+
+
+class TestSpanBasics:
+    def test_begin_end_parent_links(self):
+        tracer = SpanTracer()
+        outer = tracer.begin(0, "outer", track="t")
+        inner = tracer.begin(10, "inner", track="t")
+        assert inner.parent_id == outer.span_id
+        tracer.end(20, inner)
+        tracer.end(30, outer)
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+        assert outer.duration_ns == 30
+        assert inner.duration_ns == 10
+
+    def test_tracks_are_independent(self):
+        tracer = SpanTracer()
+        a = tracer.begin(0, "a", track="one")
+        b = tracer.begin(5, "b", track="two")
+        assert b.parent_id is None
+        tracer.end(7, a)
+        tracer.end(9, b)
+
+    def test_end_out_of_order_raises(self):
+        tracer = SpanTracer()
+        outer = tracer.begin(0, "outer", track="t")
+        tracer.begin(1, "inner", track="t")
+        with pytest.raises(SpanError, match="innermost-first"):
+            tracer.end(2, outer)
+
+    def test_end_with_nothing_open_raises(self):
+        with pytest.raises(SpanError, match="no open span"):
+            SpanTracer().end(5, track="t")
+
+    def test_time_travel_raises(self):
+        tracer = SpanTracer()
+        span = tracer.begin(100, "s", track="t")
+        with pytest.raises(SpanError, match="before its start"):
+            tracer.end(50, span)
+        tracer2 = SpanTracer()
+        tracer2.begin(100, "parent", track="t")
+        with pytest.raises(SpanError, match="before its parent"):
+            tracer2.begin(50, "child", track="t")
+
+    def test_duration_of_open_span_raises(self):
+        tracer = SpanTracer()
+        span = tracer.begin(0, "open", track="t")
+        with pytest.raises(SpanError, match="still open"):
+            span.duration_ns
+
+    def test_instant_is_zero_duration(self):
+        tracer = SpanTracer()
+        mark = tracer.instant(42, "mark", track="t", detail="x")
+        assert mark.start_ns == mark.end_ns == 42
+        assert mark.args["detail"] == "x"
+
+    def test_complete_retroactive_and_overlap_guard(self):
+        tracer = SpanTracer()
+        done = tracer.complete(0, 30, "period", track="aql")
+        assert done.duration_ns == 30
+        open_span = tracer.begin(40, "decide", track="aql")
+        # retroactive span that starts before the open span's begin
+        # would interleave, not nest
+        with pytest.raises(SpanError, match="overlaps open span"):
+            tracer.complete(35, 45, "bad", track="aql")
+        # fully inside the open span is fine and parents under it
+        nested = tracer.complete(41, 44, "ok", track="aql")
+        assert nested.parent_id == open_span.span_id
+        with pytest.raises(SpanError, match="end .* < start|end 1 < start"):
+            tracer.complete(5, 1, "backwards", track="aql")
+
+    def test_close_all_closes_everything(self):
+        tracer = SpanTracer()
+        tracer.begin(0, "a", track="x")
+        tracer.begin(1, "b", track="x")
+        tracer.begin(2, "c", track="y")
+        assert tracer.close_all(10) == 3
+        assert tracer.open_spans() == []
+        assert all(s.end_ns == 10 for s in tracer.spans())
+
+    def test_retention_cap_counts_drops(self):
+        tracer = SpanTracer(max_spans=2)
+        for i in range(4):
+            tracer.instant(i, f"m{i}")
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+
+
+# one operation of a random schedule: (op kind, track index, time step)
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["begin", "end", "instant", "complete"]),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=_OPS)
+def test_nesting_always_well_formed_under_random_schedules(ops):
+    """Any op schedule leaves only structurally valid spans behind.
+
+    Ops run at monotonically non-decreasing virtual times (like the
+    simulator's clock).  `end` on an empty track must raise and change
+    nothing; afterwards every completed span must satisfy start <= end
+    and sit fully inside its completed parent — the nesting contract
+    chrome://tracing and the JSONL exposition rely on.
+    """
+    tracer = SpanTracer()
+    now = 0
+    for kind, track_index, step in ops:
+        now += step
+        track = f"track{track_index}"
+        if kind == "begin":
+            tracer.begin(now, f"s@{now}", track=track)
+        elif kind == "instant":
+            tracer.instant(now, f"i@{now}", track=track)
+        elif kind == "complete":
+            open_stack = [
+                s for s in tracer.open_spans() if s.track == track
+            ]
+            start = max(
+                now - step, open_stack[-1].start_ns if open_stack else 0
+            )
+            tracer.complete(start, now, f"c@{now}", track=track)
+        else:  # end
+            has_open = any(s.track == track for s in tracer.open_spans())
+            if has_open:
+                tracer.end(now, track=track)
+            else:
+                with pytest.raises(SpanError):
+                    tracer.end(now, track=track)
+    tracer.close_all(now)
+
+    assert tracer.open_spans() == []
+    by_id = {span.span_id: span for span in tracer.spans()}
+    for span in tracer.spans():
+        assert span.end_ns is not None
+        assert span.start_ns <= span.end_ns
+        if span.parent_id is not None and span.parent_id in by_id:
+            parent = by_id[span.parent_id]
+            assert parent.track == span.track
+            assert parent.start_ns <= span.start_ns
+            assert span.end_ns <= parent.end_ns
