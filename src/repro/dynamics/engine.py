@@ -78,7 +78,13 @@ class ChurnEngine:
     # arming
     # ------------------------------------------------------------------
     def arm(self, origin_ns: Optional[int] = None) -> None:
-        """Schedule every timeline event at ``origin + at_ns``."""
+        """Schedule every timeline event at ``origin + at_ns``.
+
+        Events are scheduled in tuple order, and the simulator fires
+        same-instant events in scheduling order, so events sharing a
+        timestamp fire in tuple order — the documented tie-break
+        :class:`~repro.dynamics.events.ChurnTimeline` promises.
+        """
         if self._armed:
             raise RuntimeError("timeline already armed")
         self._armed = True

@@ -136,7 +136,19 @@ class PcpuOnline(ChurnEvent):
 
 @dataclass(frozen=True)
 class ChurnTimeline:
-    """An ordered story of churn events (offsets from the arm time)."""
+    """An ordered story of churn events (offsets from the arm time).
+
+    **Fire order is pinned**: events fire in a *stable sort* of the
+    tuple by ``at_ns`` — earlier offsets first, and events sharing an
+    identical timestamp fire in tuple order.  This follows from two
+    guarantees that are part of the public contract (and regression-
+    tested in ``tests/test_churn_event_order.py``): the engine's
+    :meth:`~repro.dynamics.engine.ChurnEngine.arm` schedules events in
+    tuple order, and the simulator breaks same-instant ties by
+    scheduling sequence.  Scenario generators may therefore emit
+    dependent same-timestamp pairs (boot ``x`` then phase-change
+    ``x`` at the same instant) and rely on the tuple order.
+    """
 
     events: tuple[ChurnEvent, ...]
 

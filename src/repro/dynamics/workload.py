@@ -201,7 +201,7 @@ class SwitchableWorkload(Workload):
         self._generation += 1
         if mode == "io":
             if self.port is not None:
-                self.port.pending.clear()  # requests from a dead phase
+                self.port.discard_pending()  # requests from a dead phase
             self._kick_clients()
         elif was_io and self.port is not None and not self.port.closed:
             # the server thread may be parked in WaitEvent: sentinel it

@@ -1,0 +1,129 @@
+"""Corpus campaigns: generate, run, check, shrink, report.
+
+:func:`run_campaign` is the fuzzing loop the CLI and CI drive: a
+fixed-seed sequence of generated scenarios, each run to completion and
+checked against the invariant library, with the shared coverage map
+steering every subsequent generation.  Failures are shrunk and written
+out as runnable repro files (``python -m repro.fuzz replay <case>``);
+the merged coverage report lands next to them.
+
+Everything is deterministic in (seed, cases, generation knobs): case
+``i`` is generated from ``seed + i`` against the coverage accumulated
+by cases ``0..i-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.fuzz.coverage import CoverageMap, outcome_keys
+from repro.fuzz.generator import generate_scenario
+from repro.fuzz.invariants import Violation, check_invariants
+from repro.fuzz.runner import run_scenario_fuzz
+from repro.fuzz.scenario import POLICY_NAMES, FuzzScenario
+from repro.fuzz.shrink import ShrinkResult, shrink
+
+
+@dataclass
+class CaseResult:
+    """One corpus case: what ran and what the invariants said."""
+
+    index: int
+    seed: int
+    scenario: FuzzScenario
+    violations: list[Violation] = field(default_factory=list)
+    #: coverage keys this case visited for the first time
+    new_coverage: int = 0
+    shrunk: Optional[ShrinkResult] = None
+    repro_path: Optional[Path] = None
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+
+@dataclass
+class CampaignResult:
+    """The whole corpus run."""
+
+    cases: list[CaseResult] = field(default_factory=list)
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    report_path: Optional[Path] = None
+
+    @property
+    def failures(self) -> list[CaseResult]:
+        return [case for case in self.cases if case.failed]
+
+
+def run_campaign(
+    cases: int,
+    seed: int = 0,
+    *,
+    out_dir: Optional[Path] = None,
+    policies: Sequence[str] = POLICY_NAMES,
+    max_events: int = 4,
+    inject: Optional[str] = None,
+    shrink_failures: bool = True,
+    max_shrink_evaluations: int = 60,
+    coverage: Optional[CoverageMap] = None,
+    log: Optional[object] = None,
+) -> CampaignResult:
+    """Run a fixed-seed corpus; returns every case plus merged coverage."""
+    result = CampaignResult(
+        coverage=coverage if coverage is not None else CoverageMap()
+    )
+    for index in range(cases):
+        case_seed = seed + index
+        scenario = generate_scenario(
+            case_seed,
+            coverage=result.coverage,
+            policies=policies,
+            max_events=max_events,
+            inject=inject,
+        )
+        outcome = run_scenario_fuzz(scenario)
+        case = CaseResult(index=index, seed=case_seed, scenario=scenario)
+        case.violations = check_invariants(outcome)
+        case.new_coverage = result.coverage.novelty(outcome_keys(outcome))
+        result.coverage.observe_outcome(outcome)
+        if case.failed:
+            if shrink_failures:
+                case.shrunk = shrink(
+                    scenario,
+                    case.violations,
+                    max_evaluations=max_shrink_evaluations,
+                )
+            if out_dir is not None:
+                minimal = (
+                    case.shrunk.scenario
+                    if case.shrunk is not None
+                    else scenario
+                )
+                case.repro_path = minimal.save(
+                    Path(out_dir) / f"case_{case_seed}.json"
+                )
+        if log is not None:
+            status = (
+                "FAIL " + ",".join(sorted({
+                    v.invariant for v in case.violations
+                }))
+                if case.failed
+                else "ok"
+            )
+            print(
+                f"[{index + 1}/{cases}] seed={case_seed} "
+                f"policy={scenario.policy} events={len(scenario.timeline)} "
+                f"new-coverage={case.new_coverage} {status}",
+                file=log,
+            )
+        result.cases.append(case)
+    if out_dir is not None:
+        result.report_path = result.coverage.save(
+            Path(out_dir) / "coverage_report.json"
+        )
+    return result
+
+
+__all__ = ["CampaignResult", "CaseResult", "run_campaign"]

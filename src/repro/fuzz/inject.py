@@ -1,0 +1,65 @@
+"""Deliberate scheduler bugs, for proving the fuzzer has teeth.
+
+Each injection is a named mutation applied to a machine after policy
+setup; the CI fuzz-smoke gate runs the corpus with one injected and
+asserts the invariant library catches it and shrinks the repro to a
+trivial scenario.  Injections subclass the scheduler rather than
+monkeypatching (``CreditScheduler`` uses ``__slots__``), and swap
+``machine.scheduler`` — every dispatch/tick/accounting path reads that
+attribute at call time, so the swap is complete.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.hypervisor.credit import CreditScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.machine import Machine
+    from repro.hypervisor.vm import VCpu
+
+
+class _SkipRefillScheduler(CreditScheduler):
+    """The injected bug: every other accounting pass forgets to refill.
+
+    Credits burn as usual but are only replenished half the time, so a
+    busy vCPU sinks below the provable floor (``-credit_clip`` minus
+    one period of burn) during every skipped period — an intermittent
+    starvation bug the end-of-run state alone would never show, which
+    is exactly what the runner's credit watermark probe exists to
+    catch.
+    """
+
+    __slots__ = ("acct_calls",)
+
+    def __init__(self, machine: "Machine", params) -> None:  # type: ignore[no-untyped-def]
+        super().__init__(machine, params)
+        self.acct_calls = 0
+
+    def on_accounting(self, vcpus: Iterable["VCpu"]) -> None:
+        self.acct_calls += 1
+        if self.acct_calls % 2 == 1:
+            return  # the bug: silently skip the whole refill pass
+        super().on_accounting(vcpus)
+
+
+def _inject_skip_credit_refill(machine: "Machine") -> None:
+    machine.scheduler = _SkipRefillScheduler(machine, machine.params)
+
+
+INJECTIONS: dict[str, Callable[["Machine"], None]] = {
+    "skip_credit_refill": _inject_skip_credit_refill,
+}
+
+
+def apply_injection(machine: "Machine", name: str) -> None:
+    try:
+        INJECTIONS[name](machine)
+    except KeyError:
+        raise ValueError(
+            f"unknown injection {name!r}; known: {sorted(INJECTIONS)}"
+        ) from None
+
+
+__all__ = ["INJECTIONS", "apply_injection"]

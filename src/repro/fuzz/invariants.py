@@ -1,0 +1,442 @@
+"""The global-invariant library the fuzzer checks after every run.
+
+Six invariants, each a pure function from a :class:`FuzzOutcome` to a
+list of :class:`Violation` records:
+
+* ``work_conservation`` — no idle pCPU with local backlog, total CPU
+  time within wall-clock capacity, every established workload made
+  forward progress;
+* ``credit_fairness`` — every credit balance (including the periodic
+  probe's per-period floor) stays inside the provable Credit band;
+* ``no_lost_io`` — every event port satisfies the conservation law
+  ``posted == consumed + backlog + discarded``;
+* ``vtrs_rederivation`` — every recorded type flip re-derives from its
+  own cursor-window snapshot, and per-vCPU flip chains are coherent;
+* ``span_nesting`` — the telemetry span forest is well-formed: nothing
+  left open, children contained by their parents;
+* ``monotone_time`` — virtual time never runs backwards through the
+  applied-event log or the audit trail.
+
+**Checks must not mutate the outcome.**  :func:`check_invariants`
+enforces that mechanically: it fingerprints the machine/telemetry
+state before and after the checks and raises if anything moved.  That
+is why no check calls ``machine.sync()`` (integration mutates credit
+and run-time books — the runner syncs before handing the outcome
+over), and why none touches ``registry.counter(...)`` or
+``StatsCollector`` (the registry creates instruments on miss, and
+``StatsCollector.collect`` syncs the machine): accessors with
+side effects are not invariant material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+from repro.core.types import TYPE_PRECEDENCE, VCpuType
+from repro.sim.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fuzz.runner import FuzzOutcome
+    from repro.hypervisor.vm import VM
+    from repro.telemetry import TypeFlip
+
+#: a workload only owes forward progress once it has been alive and
+#: measured for at least this long (boots near the horizon owe nothing)
+PROGRESS_GRACE_NS = 250 * MS
+
+#: numeric slack on credit-band comparisons (integration rounding)
+CREDIT_SLACK = 1.0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, self-describing for the repro file."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.message}"
+
+
+# ----------------------------------------------------------------------
+# vTRS re-derivation (shared with tests/test_telemetry_audit.py)
+# ----------------------------------------------------------------------
+def rederive_flip(flip: "TypeFlip") -> str:
+    """Recompute a vTRS verdict from the recorded window alone.
+
+    Mirrors ``VTRS.cursor_averages`` + ``VTRS.type_of``: IO/ConSpin
+    cursors average over every sample, the CPU-burn trio only over
+    samples with compute evidence, ties break by TYPE_PRECEDENCE.
+    """
+    io_like = {VCpuType.IOINT.name, VCpuType.CONSPIN.name}
+    count = len(flip.window)
+    cpu_samples = [
+        dict(cursors) for cursors, cpu_ok in flip.window if cpu_ok
+    ]
+    averages = {}
+    for vtype in VCpuType:
+        name = vtype.name
+        if name in io_like:
+            averages[name] = (
+                sum(dict(cursors)[name] for cursors, _ in flip.window) / count
+            )
+        elif cpu_samples:
+            averages[name] = (
+                sum(sample[name] for sample in cpu_samples) / len(cpu_samples)
+            )
+        else:
+            averages[name] = 0.0
+    return max(
+        TYPE_PRECEDENCE,
+        key=lambda t: (averages[t.name], -TYPE_PRECEDENCE.index(t)),
+    ).name
+
+
+# ----------------------------------------------------------------------
+# the six invariants
+# ----------------------------------------------------------------------
+def check_work_conservation(outcome: "FuzzOutcome") -> list[Violation]:
+    machine = outcome.machine
+    out: list[Violation] = []
+    for ctx in machine.contexts.values():
+        if not ctx.offline and ctx.current is None and len(ctx.runq):
+            out.append(Violation(
+                "work_conservation",
+                f"{ctx.pcpu!r} idle with {len(ctx.runq)} runnable vCPUs "
+                "queued on it",
+            ))
+    total_run = sum(v.run_ns_total for v in machine.all_vcpus)
+    total_run += sum(
+        v.run_ns_total for vm in machine.retired_vms for v in vm.vcpus
+    )
+    capacity = outcome.end_ns * len(machine.topology.pcpus)
+    if total_run > capacity * (1 + 1e-6):
+        out.append(Violation(
+            "work_conservation",
+            f"CPU time from nowhere: {total_run:.0f} ns run on "
+            f"{capacity:.0f} ns of capacity",
+        ))
+    for name, workload in sorted(outcome.workloads.items()):
+        vm = workload.vm
+        start_ns = workload._window_start_ns
+        if vm is None or not vm.alive or start_ns is None:
+            continue
+        if outcome.end_ns - start_ns < PROGRESS_GRACE_NS:
+            continue
+        gained = workload.units_done - workload._window_start_units
+        if gained <= 0:
+            out.append(Violation(
+                "work_conservation",
+                f"{name} ({workload.mode}) made no progress over "
+                f"{(outcome.end_ns - start_ns) / MS:.0f} ms",
+            ))
+    return out
+
+
+def _credit_band(outcome: "FuzzOutcome") -> tuple[float, float]:
+    """The provable Credit balance band.
+
+    After every accounting refill a balance is clipped to
+    ``[-clip, +clip]``; between refills a vCPU can only *burn*, at most
+    one full accounting period's worth (``accounting_ns * burn_rate``,
+    since ``_on_accounting`` syncs before refilling).  So at any
+    instant: ``-clip - period_burn <= credit <= +clip``.
+    """
+    params = outcome.machine.params
+    period_burn = params.accounting_ns * params.burn_rate_per_ns
+    return (-params.credit_clip - period_burn, params.credit_clip)
+
+
+def check_credit_fairness(outcome: "FuzzOutcome") -> list[Violation]:
+    low, high = _credit_band(outcome)
+    out: list[Violation] = []
+    for name, floor in sorted(outcome.credit_watermark.items()):
+        if floor < low - CREDIT_SLACK:
+            out.append(Violation(
+                "credit_fairness",
+                f"{name} sank to credit {floor:.1f}, below the "
+                f"fairness floor {low:.1f} (starved of refills?)",
+            ))
+    for vm in _all_vms(outcome):
+        for vcpu in vm.vcpus:
+            if not low - CREDIT_SLACK <= vcpu.credit <= high + CREDIT_SLACK:
+                out.append(Violation(
+                    "credit_fairness",
+                    f"{vcpu.name} finished at credit {vcpu.credit:.1f}, "
+                    f"outside [{low:.1f}, {high:.1f}]",
+                ))
+    return out
+
+
+def check_no_lost_io(outcome: "FuzzOutcome") -> list[Violation]:
+    out: list[Violation] = []
+    for vm in _all_vms(outcome):
+        for port in vm.ports:
+            books = port.consumed + port.backlog + port.discarded
+            if port.posted != books:
+                out.append(Violation(
+                    "no_lost_io",
+                    f"{port.name}: posted {port.posted} != consumed "
+                    f"{port.consumed} + backlog {port.backlog} + "
+                    f"discarded {port.discarded}",
+                ))
+            if min(
+                port.posted, port.consumed, port.backlog,
+                port.dropped, port.discarded,
+            ) < 0:
+                out.append(Violation(
+                    "no_lost_io", f"{port.name}: negative IO counter"
+                ))
+            if port.closed and port.backlog:
+                out.append(Violation(
+                    "no_lost_io",
+                    f"{port.name}: closed with {port.backlog} events "
+                    "still pending for a dead VM",
+                ))
+    return out
+
+
+def check_vtrs_rederivation(outcome: "FuzzOutcome") -> list[Violation]:
+    audit = outcome.telemetry.audit
+    out: list[Violation] = []
+    for flip in audit.flips:
+        derived = rederive_flip(flip)
+        if derived != flip.new_type:
+            out.append(Violation(
+                "vtrs_rederivation",
+                f"{flip.vcpu_name}@{flip.time_ns}: recorded window "
+                f"re-derives to {derived}, not the recorded "
+                f"{flip.new_type}",
+            ))
+        recorded = dict(flip.averages)
+        if recorded and abs(
+            recorded[flip.new_type] - max(recorded.values())
+        ) > 1e-9:
+            out.append(Violation(
+                "vtrs_rederivation",
+                f"{flip.vcpu_name}@{flip.time_ns}: winner's average "
+                "is not the recorded maximum",
+            ))
+    for vcpu_id in sorted({flip.vcpu_id for flip in audit.flips}):
+        chain = audit.flips_of(vcpu_id)
+        if chain[0].old_type is not None:
+            out.append(Violation(
+                "vtrs_rederivation",
+                f"vcpu {vcpu_id}: first flip claims a prior type "
+                f"{chain[0].old_type}",
+            ))
+        for previous, current in zip(chain, chain[1:]):
+            if current.old_type != previous.new_type:
+                out.append(Violation(
+                    "vtrs_rederivation",
+                    f"vcpu {vcpu_id}: flip chain broken at "
+                    f"t={current.time_ns} ({previous.new_type} -> "
+                    f"recorded old {current.old_type})",
+                ))
+            if current.new_type == current.old_type:
+                out.append(Violation(
+                    "vtrs_rederivation",
+                    f"vcpu {vcpu_id}: no-op flip at t={current.time_ns}",
+                ))
+    return out
+
+
+def check_span_nesting(outcome: "FuzzOutcome") -> list[Violation]:
+    tracer = outcome.telemetry.tracer
+    out: list[Violation] = []
+    for span in tracer.open_spans():
+        out.append(Violation(
+            "span_nesting",
+            f"span {span.track}:{span.name} (begun {span.start_ns}) "
+            "still open after run finalisation",
+        ))
+    by_id = {span.span_id: span for span in tracer.spans()}
+    for span in tracer.spans():
+        if span.end_ns is None or span.end_ns < span.start_ns:
+            out.append(Violation(
+                "span_nesting",
+                f"span {span.track}:{span.name} has a malformed "
+                f"interval [{span.start_ns}, {span.end_ns}]",
+            ))
+            continue
+        if span.parent_id is None:
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            continue  # parent evicted by the retention cap
+        if parent.track != span.track:
+            out.append(Violation(
+                "span_nesting",
+                f"span {span.track}:{span.name} parented across tracks "
+                f"to {parent.track}:{parent.name}",
+            ))
+        if span.start_ns < parent.start_ns or (
+            parent.end_ns is not None and span.end_ns > parent.end_ns
+        ):
+            out.append(Violation(
+                "span_nesting",
+                f"span {span.track}:{span.name} "
+                f"[{span.start_ns}, {span.end_ns}] escapes its parent "
+                f"{parent.name} [{parent.start_ns}, {parent.end_ns}]",
+            ))
+    return out
+
+
+def check_monotone_time(outcome: "FuzzOutcome") -> list[Violation]:
+    out: list[Violation] = []
+    scenario = outcome.scenario
+    expected = scenario.warmup_ns + scenario.measure_ns
+    if outcome.end_ns < expected:
+        out.append(Violation(
+            "monotone_time",
+            f"run stopped at {outcome.end_ns} ns, before the scenario "
+            f"horizon {expected} ns",
+        ))
+    last = 0
+    for applied in outcome.engine.applied:
+        if applied.time_ns < last:
+            out.append(Violation(
+                "monotone_time",
+                f"applied event {applied.event.kind} fired at "
+                f"{applied.time_ns}, after the log reached {last}",
+            ))
+        last = max(last, applied.time_ns)
+        if applied.time_ns > outcome.end_ns:
+            out.append(Violation(
+                "monotone_time",
+                f"applied event {applied.event.kind} fired at "
+                f"{applied.time_ns}, beyond the horizon {outcome.end_ns}",
+            ))
+    audit = outcome.telemetry.audit
+    for label, times in (
+        ("flip", [f.time_ns for f in audit.flips]),
+        ("decision", [d.time_ns for d in audit.decisions]),
+        ("pool change", [c.time_ns for c in audit.ledger]),
+    ):
+        for earlier, later in zip(times, times[1:]):
+            if later < earlier:
+                out.append(Violation(
+                    "monotone_time",
+                    f"{label} log runs backwards: {earlier} -> {later}",
+                ))
+        if times and times[-1] > outcome.end_ns:
+            out.append(Violation(
+                "monotone_time",
+                f"{label} recorded at {times[-1]}, beyond the horizon",
+            ))
+    indices = [d.decision_index for d in audit.decisions]
+    if indices != sorted(set(indices)):
+        out.append(Violation(
+            "monotone_time", "decision indices not strictly increasing"
+        ))
+    return out
+
+
+#: name -> check, in reporting order
+INVARIANTS: dict[
+    str, Callable[["FuzzOutcome"], list[Violation]]
+] = {
+    "work_conservation": check_work_conservation,
+    "credit_fairness": check_credit_fairness,
+    "no_lost_io": check_no_lost_io,
+    "vtrs_rederivation": check_vtrs_rederivation,
+    "span_nesting": check_span_nesting,
+    "monotone_time": check_monotone_time,
+}
+
+
+# ----------------------------------------------------------------------
+# read-only enforcement
+# ----------------------------------------------------------------------
+def _all_vms(outcome: "FuzzOutcome") -> Iterable["VM"]:
+    machine = outcome.machine
+    return list(machine.vms) + list(machine.retired_vms)
+
+
+def state_fingerprint(outcome: "FuzzOutcome") -> tuple:
+    """A digest of every piece of state the checks are allowed to read.
+
+    Taken before and after :func:`check_invariants`; any drift means a
+    check mutated the machine (a sync, a counter created on miss, a
+    drained deque) and is itself a bug.
+    """
+    machine = outcome.machine
+    vcpus = tuple(
+        (
+            vcpu.name, vcpu.credit, vcpu.run_ns_total, vcpu.state.name,
+            vcpu.dispatch_count, vcpu.io_events, vcpu.migrations,
+        )
+        for vm in _all_vms(outcome)
+        for vcpu in vm.vcpus
+    )
+    ports = tuple(
+        (
+            port.name, port.posted, port.consumed, port.backlog,
+            port.dropped, port.discarded, port.closed,
+        )
+        for vm in _all_vms(outcome)
+        for port in vm.ports
+    )
+    pools = tuple(
+        (pool.name, pool.quantum_ns, len(pool.pcpus), len(pool.vcpus))
+        for pool in machine.pools
+    )
+    telemetry = outcome.telemetry
+    return (
+        machine.sim.now,
+        vcpus,
+        ports,
+        pools,
+        machine.migrations_total,
+        len(machine.vms),
+        len(machine.retired_vms),
+        len(telemetry.audit.flips),
+        len(telemetry.audit.decisions),
+        len(telemetry.audit.ledger),
+        len(telemetry.tracer),
+        telemetry.tracer.dropped,
+        len(telemetry.tracer.open_spans()),
+        len(telemetry.registry),
+        tuple(outcome.credit_watermark.items()),
+    )
+
+
+def check_invariants(
+    outcome: "FuzzOutcome",
+    names: Optional[Sequence[str]] = None,
+) -> list[Violation]:
+    """Run the (selected) invariants; guarantees the outcome unchanged."""
+    selected = list(INVARIANTS) if names is None else list(names)
+    unknown = [n for n in selected if n not in INVARIANTS]
+    if unknown:
+        raise ValueError(f"unknown invariants: {unknown}")
+    before = state_fingerprint(outcome)
+    violations: list[Violation] = []
+    for name in selected:
+        violations.extend(INVARIANTS[name](outcome))
+    after = state_fingerprint(outcome)
+    if before != after:
+        raise RuntimeError(
+            "invariant checks mutated machine state — checks must be "
+            "read-only"
+        )
+    return violations
+
+
+__all__ = [
+    "CREDIT_SLACK",
+    "INVARIANTS",
+    "PROGRESS_GRACE_NS",
+    "Violation",
+    "check_credit_fairness",
+    "check_invariants",
+    "check_monotone_time",
+    "check_no_lost_io",
+    "check_span_nesting",
+    "check_vtrs_rederivation",
+    "check_work_conservation",
+    "rederive_flip",
+    "state_fingerprint",
+]

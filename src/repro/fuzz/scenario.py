@@ -1,0 +1,218 @@
+"""The fuzzer's unit of reproduction: one fully-specified run.
+
+A :class:`FuzzScenario` pins everything a churn run depends on — the
+machine size, the policy, the base VM population, the churn timeline,
+the windows and the RNG seed — as plain data with an exact JSON round
+trip.  A failing scenario saved by the corpus runner replays bit-for-
+bit with ``python -m repro.fuzz replay <case>.json``.
+
+:func:`scenario_problems` is the static applicability check: it walks
+the timeline with the same aliveness/offline bookkeeping the engine
+applies at fire time, so an invalid candidate (shrinking removed the
+boot a later phase change depends on, say) is rejected *before* a
+simulated run is spent on it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.dynamics.events import (
+    MODES,
+    ChurnEvent,
+    ChurnTimeline,
+    LoadSpike,
+    PcpuOffline,
+    PcpuOnline,
+    PhaseChange,
+    VmBoot,
+    VmShutdown,
+)
+from repro.sim.units import MS
+
+#: every policy the fuzzer can drive a scenario under
+POLICY_NAMES = ("xen", "microsliced", "vslicer", "vturbo", "aql")
+
+_EVENT_CLASSES: dict[str, type[ChurnEvent]] = {
+    cls.kind: cls
+    for cls in (
+        VmBoot, VmShutdown, PhaseChange, LoadSpike, PcpuOffline, PcpuOnline
+    )
+}
+
+
+def event_to_json(event: ChurnEvent) -> dict[str, object]:
+    """One event as a flat JSON object keyed by its ``kind``."""
+    data: dict[str, object] = {"kind": event.kind}
+    for f in fields(event):
+        data[f.name] = getattr(event, f.name)
+    return data
+
+
+def event_from_json(data: dict[str, object]) -> ChurnEvent:
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = _EVENT_CLASSES.get(str(kind))
+    if cls is None:
+        raise ValueError(f"unknown churn event kind {kind!r}")
+    return cls(**payload)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """Everything one fuzzed run needs, as plain data."""
+
+    seed: int
+    pcpus: int
+    policy: str
+    #: the pre-churn population, ``(vm name, mode)`` per VM
+    base: tuple[tuple[str, str], ...]
+    timeline: ChurnTimeline
+    clients: int = 4
+    warmup_ns: int = 250 * MS
+    tail_ns: int = 300 * MS
+    #: name of a registered bug injection (repro.fuzz.inject), or None
+    inject: Optional[str] = None
+    label: str = ""
+
+    @property
+    def measure_ns(self) -> int:
+        """Measured window: through the last event plus the tail."""
+        return self.timeline.duration_ns + self.tail_ns
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "pcpus": self.pcpus,
+            "policy": self.policy,
+            "base": [list(member) for member in self.base],
+            "events": [event_to_json(e) for e in self.timeline.events],
+            "clients": self.clients,
+            "warmup_ns": self.warmup_ns,
+            "tail_ns": self.tail_ns,
+            "inject": self.inject,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "FuzzScenario":
+        events = tuple(
+            event_from_json(e)  # type: ignore[arg-type]
+            for e in data.get("events", ())  # type: ignore[union-attr]
+        )
+        return cls(
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            pcpus=int(data["pcpus"]),  # type: ignore[arg-type]
+            policy=str(data["policy"]),
+            base=tuple(
+                (str(name), str(mode))
+                for name, mode in data["base"]  # type: ignore[union-attr]
+            ),
+            timeline=ChurnTimeline(events),
+            clients=int(data.get("clients", 4)),  # type: ignore[arg-type]
+            warmup_ns=int(data.get("warmup_ns", 250 * MS)),  # type: ignore[arg-type]
+            tail_ns=int(data.get("tail_ns", 300 * MS)),  # type: ignore[arg-type]
+            inject=(
+                str(data["inject"]) if data.get("inject") is not None else None
+            ),
+            label=str(data.get("label", "")),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FuzzScenario":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+
+def scenario_problems(scenario: FuzzScenario) -> list[str]:
+    """Every reason this scenario cannot run; empty list = valid.
+
+    Mirrors the engine's fire-time requirements statically: boots need
+    a never-used name (shut-down VMs stay registered), shutdowns and
+    phase changes need a live VM, faults track the online core count,
+    and at least one VM must survive the whole story.
+    """
+    problems: list[str] = []
+    if scenario.pcpus < 2:
+        problems.append("need at least 2 pCPUs")
+    if scenario.policy not in POLICY_NAMES:
+        problems.append(f"unknown policy {scenario.policy!r}")
+    if scenario.clients < 1:
+        problems.append("need at least one client per io workload")
+    if scenario.warmup_ns <= 0 or scenario.tail_ns <= 0:
+        problems.append("warmup and tail must be positive")
+    if not scenario.base:
+        problems.append("base population is empty")
+    names = [name for name, _ in scenario.base]
+    if len(set(names)) != len(names):
+        problems.append("duplicate base VM names")
+    for name, mode in scenario.base:
+        if mode not in MODES:
+            problems.append(f"base VM {name!r}: unknown mode {mode!r}")
+
+    alive = {name: mode for name, mode in scenario.base}
+    used = set(alive)
+    offline: set[int] = set()
+    last_t = 0
+    for event in scenario.timeline.events:
+        if event.at_ns < last_t:
+            problems.append(f"{event!r}: events not in time order")
+        last_t = max(last_t, event.at_ns)
+        if isinstance(event, VmBoot):
+            if event.name in used:
+                problems.append(f"boot {event.name!r}: name already used")
+            used.add(event.name)
+            alive[event.name] = event.mode
+        elif isinstance(event, VmShutdown):
+            if event.name not in alive:
+                problems.append(f"shutdown {event.name!r}: not alive")
+            elif len(alive) <= 1:
+                problems.append(
+                    f"shutdown {event.name!r}: would leave no VM alive"
+                )
+            else:
+                del alive[event.name]
+        elif isinstance(event, (PhaseChange, LoadSpike)):
+            if event.name not in alive:
+                problems.append(f"{event.kind} {event.name!r}: not alive")
+            elif isinstance(event, PhaseChange):
+                alive[event.name] = event.mode
+        elif isinstance(event, PcpuOffline):
+            if not 0 <= event.cpu_id < scenario.pcpus:
+                problems.append(f"offline pcpu{event.cpu_id}: no such core")
+            elif event.cpu_id in offline:
+                problems.append(f"offline pcpu{event.cpu_id}: already dark")
+            elif scenario.pcpus - len(offline) < 2:
+                problems.append(
+                    f"offline pcpu{event.cpu_id}: would darken the last core"
+                )
+            else:
+                offline.add(event.cpu_id)
+        elif isinstance(event, PcpuOnline):
+            if event.cpu_id not in offline:
+                problems.append(f"online pcpu{event.cpu_id}: not offline")
+            else:
+                offline.discard(event.cpu_id)
+    return problems
+
+
+__all__ = [
+    "POLICY_NAMES",
+    "FuzzScenario",
+    "event_from_json",
+    "event_to_json",
+    "scenario_problems",
+]

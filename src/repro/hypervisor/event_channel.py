@@ -49,7 +49,15 @@ class EventPort:
         #: set by :meth:`close` (VM shutdown); a closed port drops
         #: every subsequent post instead of touching the dead vCPU
         self.closed = False
+        #: posts *refused* because the port was already closed — these
+        #: never entered ``pending`` and do not count as ``posted``
         self.dropped = 0
+        #: accepted events later removed from ``pending`` without being
+        #: consumed (close-time drain, phase-change drain).  Together
+        #: the counters satisfy the conservation law the fuzzer's
+        #: ``no_lost_io`` invariant checks on every run:
+        #: ``posted == consumed + backlog + discarded``.
+        self.discarded = 0
 
     def post(self, payload: object = None) -> None:
         """Deliver an event notification to the bound vCPU.
@@ -85,17 +93,30 @@ class EventPort:
         self.consumed += 1
         return True, self.pending.popleft()
 
+    def discard_pending(self) -> int:
+        """Drop every queued-but-undelivered event, keeping the books.
+
+        The one sanctioned way to clear ``pending`` (a phase change
+        abandoning requests from a dead IO phase, a close-time drain):
+        clearing the deque directly would leak events out of the
+        ``posted == consumed + backlog + discarded`` conservation law.
+        Returns how many events were discarded.
+        """
+        count = len(self.pending)
+        self.discarded += count
+        self.pending.clear()
+        return count
+
     def close(self) -> None:
         """Tear the port down: drain pending events, detach the waiter.
 
-        Pending (undelivered) events count as dropped — they will never
-        reach a handler.  Idempotent.
+        Pending (undelivered) events count as discarded — they were
+        accepted but will never reach a handler.  Idempotent.
         """
         if self.closed:
             return
         self.closed = True
-        self.dropped += len(self.pending)
-        self.pending.clear()
+        self.discard_pending()
         self.waiter = None
 
     @property

@@ -1,0 +1,97 @@
+"""Regression pin for the same-timestamp churn fire order.
+
+:class:`~repro.dynamics.events.ChurnTimeline` documents that events
+sharing an identical ``at_ns`` fire in tuple order (the engine arms in
+tuple order, and the simulator breaks same-instant ties by scheduling
+sequence).  The fuzzer's generator leans on that contract when it
+emits dependent same-instant pairs, so it gets its own test: the pair
+(boot ``x``, phase-change ``x``) at one timestamp must work in tuple
+order and fail loudly when reversed.
+"""
+
+import pytest
+
+from repro.dynamics.events import ChurnTimeline, PhaseChange, VmBoot
+from repro.fuzz import FuzzScenario, run_scenario_fuzz
+from repro.sim.units import MS
+
+
+def test_simulator_breaks_same_instant_ties_by_schedule_order():
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    fired: list[str] = []
+    for name in ("first", "second", "third"):
+        sim.at(100, lambda n=name: fired.append(n), name)
+    sim.run_until(200)
+    assert fired == ["first", "second", "third"]
+
+
+def test_same_instant_pair_fires_in_tuple_order():
+    """boot(x) then phase(x) at one timestamp: the boot must land
+    first, and the phase change must stick."""
+    t = 200 * MS
+    scenario = FuzzScenario(
+        seed=7,
+        pcpus=2,
+        policy="xen",
+        base=(("base0", "llcf"),),
+        timeline=ChurnTimeline((
+            VmBoot(t, name="hot0", mode="llcf"),
+            PhaseChange(t, name="hot0", mode="io"),
+        )),
+    )
+    outcome = run_scenario_fuzz(scenario)
+    applied = outcome.engine.applied
+    assert [a.event.kind for a in applied] == ["vm_boot", "phase_change"]
+    assert applied[0].time_ns == applied[1].time_ns
+    assert outcome.workloads["hot0"].mode == "io"
+    # the phase change took effect *after* install: it is on record
+    assert outcome.workloads["hot0"].mode_changes
+
+
+def test_reversed_same_instant_pair_rejected_statically():
+    """phase(x) before boot(x) at the same instant is invalid: the
+    static validator walks events in tuple order, same as fire order."""
+    from repro.fuzz import scenario_problems
+
+    t = 200 * MS
+    scenario = FuzzScenario(
+        seed=7,
+        pcpus=2,
+        policy="xen",
+        base=(("base0", "llcf"),),
+        timeline=ChurnTimeline((
+            PhaseChange(t, name="hot0", mode="io"),
+            VmBoot(t, name="hot0", mode="llcf"),
+        )),
+    )
+    assert any("not alive" in p for p in scenario_problems(scenario))
+    with pytest.raises(ValueError, match="not runnable"):
+        run_scenario_fuzz(scenario)
+
+
+def test_reversed_same_instant_pair_fails_at_fire_time():
+    """Driving the engine directly (no static validation): the phase
+    change fires first and hits a VM that does not exist yet — the
+    tie-break is real ordering, not luck."""
+    from repro.dynamics import ChurnEngine, SwitchableWorkload
+    from repro.hypervisor.machine import Machine
+
+    machine = Machine(seed=0)
+    vm = machine.new_vm("base0", 1)
+    workload = SwitchableWorkload("base0", mode="llcf", clients=2)
+    workload.install(machine, vm)
+    t = 200 * MS
+    engine = ChurnEngine(
+        machine,
+        ChurnTimeline((
+            PhaseChange(t, name="hot0", mode="io"),
+            VmBoot(t, name="hot0", mode="llcf"),
+        )),
+        workloads={"base0": workload},
+    )
+    machine.run(50 * MS)
+    engine.arm(origin_ns=0)
+    with pytest.raises(KeyError):
+        machine.run(300 * MS)

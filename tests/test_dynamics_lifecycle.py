@@ -51,11 +51,14 @@ class TestVmShutdown:
         machine.shutdown_vm(vm)
         assert port.closed
         assert port.backlog == 0
-        assert port.dropped >= backlog
-        # in-flight completions arriving after death are dropped too
+        # the drained backlog counts as discarded (accepted, never
+        # served) — not as dropped (refused at the door)
+        assert port.discarded >= backlog
+        # in-flight completions arriving after death are refused
         dropped_before = port.dropped
         port.post((0, machine.sim.now))
         assert port.dropped == dropped_before + 1
+        assert port.posted == port.consumed + port.backlog + port.discarded
         assert not vm.alive
         assert vm in machine.retired_vms and vm not in machine.vms
         # stale client timers fire harmlessly; the world keeps turning

@@ -1,0 +1,95 @@
+"""Corpus campaigns and the CLI: clean runs, artifacts, exit codes."""
+
+import json
+
+import pytest
+
+from repro.fuzz import CoverageMap, run_campaign
+from repro.fuzz.cli import main
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("corpus")
+    return run_campaign(5, seed=100, out_dir=out_dir), out_dir
+
+
+class TestCampaign:
+    def test_clean_corpus_has_no_failures(self, campaign):
+        result, _ = campaign
+        assert len(result.cases) == 5
+        assert result.failures == []
+
+    def test_coverage_accumulates(self, campaign):
+        result, _ = campaign
+        assert result.coverage.runs == 5
+        assert len(result.coverage) > 10
+        # the very first case visits only fresh keys
+        assert result.cases[0].new_coverage > 0
+
+    def test_coverage_report_written(self, campaign):
+        result, out_dir = campaign
+        assert result.report_path is not None
+        report = json.loads(result.report_path.read_text())
+        assert report["runs"] == 5
+        assert set(report) >= {
+            "runs", "distinct_keys", "distinct_alg_branches", "groups",
+        }
+
+    def test_deterministic_given_seed(self, campaign):
+        result, _ = campaign
+        again = run_campaign(5, seed=100)
+        assert [c.failed for c in again.cases] == [
+            c.failed for c in result.cases
+        ]
+        assert again.coverage.counts == result.coverage.counts
+
+    def test_coverage_merge(self):
+        a, b = CoverageMap(), CoverageMap()
+        a.hit("event:vm_boot", 2)
+        b.hit("event:vm_boot")
+        b.hit("ledger:plan", 4)
+        b.runs = 3
+        a.merge(b)
+        assert a.counts == {"event:vm_boot": 3, "ledger:plan": 4}
+        assert a.runs == 3
+        assert a.novelty(["event:vm_boot", "alg2:spill"]) == 1
+
+
+class TestCli:
+    def test_run_and_gate_pass(self, tmp_path, capsys):
+        # pinned to aql so the Algorithm 1/2 branch gate has substance
+        status = main([
+            "run", "--cases", "2", "--seed", "100", "--quiet",
+            "--policies", "aql",
+            "--out-dir", str(tmp_path), "--min-alg-branches", "3",
+            "--require-invariant", "credit_fairness",
+            "--require-invariant", "no_lost_io",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "coverage over 2 runs" in out
+        assert (tmp_path / "coverage_report.json").exists()
+
+    def test_gate_fails_on_impossible_branch_floor(self, capsys):
+        status = main([
+            "run", "--cases", "1", "--seed", "100", "--quiet",
+            "--no-shrink", "--min-alg-branches", "10000",
+        ])
+        assert status == 1
+        assert "GATE" in capsys.readouterr().out
+
+    def test_expect_caught_fails_on_clean_corpus(self, capsys):
+        status = main([
+            "run", "--cases", "1", "--seed", "100", "--quiet",
+            "--no-shrink", "--expect-caught",
+        ])
+        assert status == 1
+        assert "NOT caught" in capsys.readouterr().out
+
+    def test_gen_then_replay_round_trip(self, tmp_path, capsys):
+        case = tmp_path / "case.json"
+        assert main(["gen", "--seed", "100", "--out", str(case)]) == 0
+        assert case.exists()
+        assert main(["replay", str(case)]) == 0
+        assert "replayed seed 100" in capsys.readouterr().out

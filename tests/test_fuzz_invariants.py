@@ -1,0 +1,137 @@
+"""The invariant library: clean runs pass, broken state is caught, and
+checks are provably read-only (the fingerprint guard)."""
+
+import pytest
+
+from repro.dynamics.engine import AppliedEvent
+from repro.dynamics.events import VmShutdown
+from repro.fuzz import (
+    INVARIANTS,
+    check_invariants,
+    generate_scenario,
+    run_scenario_fuzz,
+    state_fingerprint,
+)
+from repro.fuzz.invariants import rederive_flip
+from repro.telemetry import TypeFlip
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    """One real run shared by every test; tampering tests restore."""
+    return run_scenario_fuzz(generate_scenario(5))
+
+
+def _names(violations):
+    return sorted({v.invariant for v in violations})
+
+
+class TestCleanRun:
+    def test_no_violations(self, outcome):
+        assert check_invariants(outcome) == []
+
+    def test_checks_leave_state_untouched(self, outcome):
+        before = state_fingerprint(outcome)
+        check_invariants(outcome)
+        assert state_fingerprint(outcome) == before
+
+    def test_subset_selection(self, outcome):
+        assert check_invariants(outcome, names=["no_lost_io"]) == []
+        with pytest.raises(ValueError, match="unknown invariants"):
+            check_invariants(outcome, names=["no_such_law"])
+
+
+class TestDetection:
+    def test_lost_io_event_detected(self, outcome):
+        port = next(
+            port for vm in outcome.machine.vms for port in vm.ports
+        )
+        port.posted += 3  # cook the books: 3 events from nowhere
+        try:
+            assert _names(check_invariants(outcome)) == ["no_lost_io"]
+        finally:
+            port.posted -= 3
+
+    def test_unrederivable_flip_detected(self, outcome):
+        audit = outcome.telemetry.audit
+        window = ((
+            (("CONSPIN", 0.0), ("IOINT", 0.0), ("LLCF", 1.0),
+             ("LLCO", 0.0), ("LOLCF", 0.0)),
+            True,
+        ),)
+        bogus = TypeFlip(
+            time_ns=outcome.end_ns, vcpu_id=999_999, vcpu_name="ghost/v0",
+            old_type=None, new_type="LLCO", window=window,
+            averages=(("LLCO", 5.0),),
+        )
+        assert rederive_flip(bogus) == "LLCF"  # the window says LLCF
+        audit.flips.append(bogus)
+        try:
+            assert "vtrs_rederivation" in _names(check_invariants(outcome))
+        finally:
+            audit.flips.pop()
+
+    def test_watermark_breach_detected(self, outcome):
+        outcome.credit_watermark["tampered/v0"] = -5_000.0
+        try:
+            assert _names(check_invariants(outcome)) == ["credit_fairness"]
+        finally:
+            del outcome.credit_watermark["tampered/v0"]
+
+    def test_final_credit_outside_band_detected(self, outcome):
+        vcpu = outcome.machine.all_vcpus[0]
+        original = vcpu.credit
+        vcpu.credit = 1_000.0  # above the +clip ceiling
+        try:
+            assert _names(check_invariants(outcome)) == ["credit_fairness"]
+        finally:
+            vcpu.credit = original
+
+    def test_open_span_detected(self, outcome):
+        tracer = outcome.telemetry.tracer
+        span = tracer.begin(outcome.end_ns, "leak", track="fuzz-test")
+        try:
+            assert "span_nesting" in _names(check_invariants(outcome))
+        finally:
+            tracer._open[span.track].remove(span)
+
+    def test_time_travel_in_event_log_detected(self, outcome):
+        applied = outcome.engine.applied
+        applied.append(AppliedEvent(0, VmShutdown(0, name="ghost")))
+        applied.append(
+            AppliedEvent(outcome.end_ns + 1, VmShutdown(0, name="ghost"))
+        )
+        try:
+            names = _names(check_invariants(outcome))
+            assert names == ["monotone_time"]
+        finally:
+            applied.pop()
+            applied.pop()
+
+
+class TestReadOnlyEnforcement:
+    def test_mutating_check_is_rejected(self, outcome):
+        """A check that touches state must be caught by the guard."""
+        def evil(out):
+            out.machine.all_vcpus[0].credit += 1.0
+            return []
+
+        INVARIANTS["evil"] = evil
+        try:
+            with pytest.raises(RuntimeError, match="read-only"):
+                check_invariants(outcome, names=["evil"])
+        finally:
+            del INVARIANTS["evil"]
+            outcome.machine.all_vcpus[0].credit -= 1.0
+
+    def test_fingerprint_sees_port_counters(self, outcome):
+        before = state_fingerprint(outcome)
+        port = next(
+            port for vm in outcome.machine.vms for port in vm.ports
+        )
+        port.discarded += 1
+        try:
+            assert state_fingerprint(outcome) != before
+        finally:
+            port.discarded -= 1
+        assert state_fingerprint(outcome) == before

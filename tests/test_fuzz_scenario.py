@@ -1,0 +1,109 @@
+"""FuzzScenario serialisation and the static applicability validator."""
+
+import pytest
+
+from repro.dynamics.events import (
+    ChurnTimeline,
+    LoadSpike,
+    PcpuOffline,
+    PcpuOnline,
+    PhaseChange,
+    VmBoot,
+    VmShutdown,
+)
+from repro.fuzz import FuzzScenario, scenario_problems
+from repro.fuzz.scenario import event_from_json, event_to_json
+from repro.sim.units import MS
+
+ALL_KINDS = (
+    VmBoot(100, name="a", mode="io", vcpus=2),
+    VmShutdown(200, name="a"),
+    PhaseChange(300, name="b", mode="spin"),
+    LoadSpike(400, name="b", factor=3.5, duration_ns=50 * MS),
+    PcpuOffline(500, cpu_id=1),
+    PcpuOnline(600, cpu_id=1),
+)
+
+
+def _scenario(events=(), base=(("b", "llcf"), ("c", "io")), **kw):
+    defaults = dict(
+        seed=3, pcpus=2, policy="aql", base=tuple(base),
+        timeline=ChurnTimeline(tuple(events)),
+    )
+    defaults.update(kw)
+    return FuzzScenario(**defaults)
+
+
+class TestEventJson:
+    @pytest.mark.parametrize("event", ALL_KINDS, ids=lambda e: e.kind)
+    def test_round_trip(self, event):
+        assert event_from_json(event_to_json(event)) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown churn event kind"):
+            event_from_json({"kind": "meteor_strike", "at_ns": 0})
+
+
+class TestScenarioJson:
+    def test_full_round_trip(self, tmp_path):
+        scenario = _scenario(
+            events=(VmBoot(100 * MS, name="a"), PhaseChange(100 * MS, name="a")),
+            inject="skip_credit_refill",
+            label="pinned",
+        )
+        clone = FuzzScenario.from_json(scenario.to_json())
+        assert clone == scenario
+        path = scenario.save(tmp_path / "case.json")
+        assert FuzzScenario.load(path) == scenario
+
+    def test_measure_covers_tail_past_last_event(self):
+        scenario = _scenario(events=(VmShutdown(700 * MS, name="b"),))
+        assert scenario.measure_ns == 700 * MS + scenario.tail_ns
+
+
+class TestValidator:
+    def test_valid_story_has_no_problems(self):
+        scenario = _scenario(events=(
+            VmBoot(100 * MS, name="a", mode="llco"),
+            PhaseChange(100 * MS, name="a", mode="io"),
+            LoadSpike(200 * MS, name="a"),
+            PcpuOffline(300 * MS, cpu_id=0),
+            PcpuOnline(400 * MS, cpu_id=0),
+            VmShutdown(500 * MS, name="a"),
+        ))
+        assert scenario_problems(scenario) == []
+
+    @pytest.mark.parametrize("events,needle", [
+        ((VmBoot(1, name="b"),), "name already used"),
+        ((VmShutdown(1, name="ghost"),), "not alive"),
+        ((VmShutdown(1, name="b"), VmShutdown(2, name="c")),
+         "no VM alive"),
+        ((PhaseChange(1, name="ghost"),), "not alive"),
+        ((LoadSpike(1, name="ghost"),), "not alive"),
+        ((PcpuOffline(1, cpu_id=7),), "no such core"),
+        ((PcpuOffline(1, cpu_id=0), PcpuOffline(2, cpu_id=0)),
+         "already dark"),
+        ((PcpuOffline(1, cpu_id=0), PcpuOffline(2, cpu_id=1)),
+         "last core"),
+        ((PcpuOnline(1, cpu_id=0),), "not offline"),
+        ((VmBoot(5, name="a"), VmBoot(2, name="z")), "not in time order"),
+    ])
+    def test_invalid_timelines_flagged(self, events, needle):
+        problems = scenario_problems(_scenario(events=events))
+        assert any(needle in p for p in problems), problems
+
+    def test_bad_scalars_flagged(self):
+        bad = _scenario(
+            base=(("x", "llcf"), ("x", "io")), policy="fifo", pcpus=1,
+            clients=0, warmup_ns=0,
+        )
+        problems = " / ".join(scenario_problems(bad))
+        for needle in (
+            "duplicate base", "unknown policy", "2 pCPUs", "one client",
+            "must be positive",
+        ):
+            assert needle in problems
+
+    def test_empty_base_flagged(self):
+        problems = scenario_problems(_scenario(base=()))
+        assert any("empty" in p for p in problems)

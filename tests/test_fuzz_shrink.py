@@ -1,0 +1,76 @@
+"""The acceptance criterion: a deliberately injected scheduler bug is
+caught by the fixed-seed corpus and shrinks to a trivially small,
+replayable scenario."""
+
+import pytest
+
+from repro.fuzz import (
+    FuzzScenario,
+    check_invariants,
+    failure_signature,
+    run_campaign,
+    run_scenario_fuzz,
+    shrink,
+)
+
+
+@pytest.fixture(scope="module")
+def caught(tmp_path_factory):
+    """A 3-case corpus with the skip-refill bug injected everywhere."""
+    out_dir = tmp_path_factory.mktemp("repros")
+    campaign = run_campaign(
+        3, seed=0, out_dir=out_dir, inject="skip_credit_refill"
+    )
+    return campaign, out_dir
+
+
+class TestInjectedBugIsCaught:
+    def test_corpus_catches_the_bug(self, caught):
+        campaign, _ = caught
+        assert campaign.failures, "skip_credit_refill escaped the corpus"
+        for case in campaign.failures:
+            assert "credit_fairness" in {
+                v.invariant for v in case.violations
+            }
+
+    def test_shrinks_to_at_most_four_events(self, caught):
+        campaign, _ = caught
+        best = min(
+            len(case.shrunk.scenario.timeline)
+            for case in campaign.failures
+            if case.shrunk is not None
+        )
+        assert best <= 4
+
+    def test_repro_file_replays_the_violation(self, caught):
+        campaign, out_dir = caught
+        case = campaign.failures[0]
+        assert case.repro_path is not None and case.repro_path.exists()
+        scenario = FuzzScenario.load(case.repro_path)
+        assert scenario.inject == "skip_credit_refill"
+        violations = check_invariants(run_scenario_fuzz(scenario))
+        assert "credit_fairness" in {v.invariant for v in violations}
+
+    def test_shrunk_scenario_still_in_signature(self, caught):
+        campaign, _ = caught
+        case = campaign.failures[0]
+        assert case.shrunk is not None
+        assert case.shrunk.signature == failure_signature(case.violations)
+        assert case.shrunk.evaluations > 0
+        assert case.shrunk.steps, "shrinking removed nothing at all"
+
+
+class TestShrinkMechanics:
+    def test_nothing_to_shrink_rejected(self):
+        from repro.fuzz import generate_scenario
+
+        with pytest.raises(ValueError, match="nothing to shrink"):
+            shrink(generate_scenario(0), [])
+
+    def test_budget_is_respected(self, caught):
+        campaign, _ = caught
+        case = campaign.failures[0]
+        result = shrink(
+            case.scenario, case.violations, max_evaluations=2
+        )
+        assert result.evaluations <= 2

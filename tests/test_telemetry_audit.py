@@ -7,12 +7,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.types import TYPE_PRECEDENCE, VCpuType
 from repro.experiments.telemetry_report import (
     render_telemetry_report,
     report_jsonable,
     run_telemetry_report,
 )
+from repro.fuzz.invariants import rederive_flip
 from repro.sim.units import MS
 from repro.telemetry import ClusterDecision, DecisionAudit, PoolChange, TypeFlip
 
@@ -29,39 +29,13 @@ def report():
     return run_telemetry_report(warmup_ns=WARMUP_NS, measure_ns=MEASURE_NS)
 
 
-def _argmax_from_window(flip: TypeFlip) -> str:
-    """Recompute the vTRS verdict from the recorded window alone.
-
-    Mirrors ``VTRS.cursor_averages`` + ``VTRS.type_of``: IO/ConSpin
-    cursors average over every sample, the CPU-burn trio only over
-    samples with compute evidence, ties break by TYPE_PRECEDENCE.
-    """
-    io_like = {VCpuType.IOINT.name, VCpuType.CONSPIN.name}
-    count = len(flip.window)
-    cpu_samples = [
-        dict(cursors) for cursors, cpu_ok in flip.window if cpu_ok
-    ]
-    averages = {}
-    for vtype in VCpuType:
-        name = vtype.name
-        if name in io_like:
-            averages[name] = (
-                sum(dict(cursors)[name] for cursors, _ in flip.window) / count
-            )
-        elif cpu_samples:
-            averages[name] = (
-                sum(sample[name] for sample in cpu_samples) / len(cpu_samples)
-            )
-        else:
-            averages[name] = 0.0
-    return max(
-        TYPE_PRECEDENCE,
-        key=lambda t: (averages[t.name], -TYPE_PRECEDENCE.index(t)),
-    ).name
-
-
 class TestFlipReproducibility:
-    """The fig4-style property: the snapshot justifies the verdict."""
+    """The fig4-style property: the snapshot justifies the verdict.
+
+    The re-derivation itself lives in ``repro.fuzz.invariants`` —
+    the fuzzer's ``vtrs_rederivation`` invariant and this suite hold
+    the audit trail to the same contract with the same code.
+    """
 
     def test_scenario_produces_flips(self, report):
         audit = report.telemetry.audit
@@ -72,7 +46,7 @@ class TestFlipReproducibility:
 
     def test_every_flip_rederivable_from_its_window(self, report):
         for flip in report.telemetry.audit.flips:
-            assert _argmax_from_window(flip) == flip.new_type, (
+            assert rederive_flip(flip) == flip.new_type, (
                 f"{flip.vcpu_name}@{flip.time_ns}: recorded window does "
                 f"not reproduce the {flip.new_type} verdict"
             )
@@ -174,3 +148,26 @@ class TestGoldenReport:
             assert flip.vcpu_name in text
         assert "Pool-change ledger" in text
         assert "AQL decision log" in text
+
+
+class TestFuzzScaleRederivation:
+    """Audit re-derivation at fuzz scale: every type flip across a
+    generated churn corpus (boots, phase changes, faults mid-window)
+    re-derives from its recorded cursor window — not just the static
+    fig6 scenario above."""
+
+    def test_corpus_flips_all_rederive(self):
+        from repro.fuzz import generate_scenario, run_scenario_fuzz
+
+        flips_seen = 0
+        for seed in (11, 12, 13):
+            scenario = generate_scenario(seed, policies=("aql",))
+            outcome = run_scenario_fuzz(scenario)
+            audit = outcome.telemetry.audit
+            for flip in audit.flips:
+                assert rederive_flip(flip) == flip.new_type, (
+                    f"seed {seed}, {flip.vcpu_name}@{flip.time_ns}: "
+                    f"window does not reproduce {flip.new_type}"
+                )
+            flips_seen += len(audit.flips)
+        assert flips_seen >= 10, "corpus produced too few flips to matter"
