@@ -3,7 +3,7 @@
 PYTHON ?= python3
 JOBS ?= 4
 
-.PHONY: install test lint bench bench-json bench-check figures sweep examples clean clean-cache
+.PHONY: install test lint bench bench-json bench-fleet-json bench-check fleet fleet-fast figures sweep examples clean clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -30,10 +30,24 @@ bench:
 bench-json:
 	$(PYTHON) benchmarks/run_bench.py
 
-# CI smoke: quick run gated against the committed baseline (25% floor)
+# full fleet benchmark; rewrites the tracked BENCH_fleet.json baseline
+bench-fleet-json:
+	$(PYTHON) benchmarks/run_bench.py --suite fleet
+
+# CI smoke: quick runs gated against the committed baselines (25% floor)
 bench-check:
 	$(PYTHON) benchmarks/run_bench.py --quick --out BENCH_quick.json \
 		--compare BENCH_sim.json
+	$(PYTHON) benchmarks/run_bench.py --suite fleet --quick \
+		--out BENCH_fleet_quick.json --compare BENCH_fleet.json
+
+# the datacenter fleet comparison (64 hosts, >500 VMs at peak);
+# `make fleet-fast` runs the 6-host smoke configuration instead
+fleet:
+	$(PYTHON) -m repro.experiments fleet --jobs $(JOBS)
+
+fleet-fast:
+	$(PYTHON) -m repro.experiments fleet --fast --jobs $(JOBS)
 
 figures:
 	$(PYTHON) -m repro.experiments all

@@ -15,6 +15,16 @@ small-quantum regime by more than 25%.
     python benchmarks/run_bench.py --quick \
         --compare BENCH_sim.json --max-regression 0.25
 
+A second suite tracks the fleet layer: ``--suite fleet`` runs
+``benchmarks/test_fleet_performance.py`` (32 hosts through the
+bulk-synchronous epoch loop), derives **epochs/sec** and
+**simulated-VM-seconds per wall-second**, writes ``BENCH_fleet.json``
+and gates on the ``vm_sec_per_wall_sec`` of its single scenario:
+
+    python benchmarks/run_bench.py --suite fleet      # writes BENCH_fleet.json
+    python benchmarks/run_bench.py --suite fleet --quick \
+        --compare BENCH_fleet.json --max-regression 0.25
+
 Output schema (``schema: 1``)::
 
     {
@@ -54,8 +64,28 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: 1 ms-quantum regime — the reason the fast-path kernel exists).
 GATED_SCENARIO = "test_small_quantum_simulation_speed"
 
+#: Benchmark suites the driver knows how to run and gate.  ``sim`` is
+#: the single-host engine (events/sec), ``fleet`` the multi-host epoch
+#: loop (simulated-VM-seconds per wall-second at 32 hosts).
+SUITES = {
+    "sim": {
+        "file": "test_simulator_performance.py",
+        "out": "BENCH_sim.json",
+        "gated": GATED_SCENARIO,
+        "metric": "events_per_sec",
+        "unit": "ev/s",
+    },
+    "fleet": {
+        "file": "test_fleet_performance.py",
+        "out": "BENCH_fleet.json",
+        "gated": "test_fleet_epoch_throughput",
+        "metric": "vm_sec_per_wall_sec",
+        "unit": "vm-sec/wallsec",
+    },
+}
 
-def run_suite(quick: bool, kernel: str) -> dict:
+
+def run_suite(quick: bool, kernel: str, bench_file: str) -> dict:
     """Run pytest-benchmark and return its parsed ``--benchmark-json``."""
     with tempfile.TemporaryDirectory() as tmp:
         json_path = Path(tmp) / "bench.json"
@@ -67,7 +97,7 @@ def run_suite(quick: bool, kernel: str) -> dict:
             sys.executable,
             "-m",
             "pytest",
-            str(REPO_ROOT / "benchmarks" / "test_simulator_performance.py"),
+            str(REPO_ROOT / "benchmarks" / bench_file),
             "--benchmark-only",
             f"--benchmark-json={json_path}",
             "-q",
@@ -80,7 +110,7 @@ def run_suite(quick: bool, kernel: str) -> dict:
 
 
 def summarize(raw: dict, quick: bool, kernel: str) -> dict:
-    """Reduce pytest-benchmark output to the BENCH_sim.json schema."""
+    """Reduce pytest-benchmark output to the BENCH_*.json schema."""
     scenarios: dict[str, dict] = {}
     for bench in raw.get("benchmarks", []):
         name = bench["name"]
@@ -95,6 +125,14 @@ def summarize(raw: dict, quick: bool, kernel: str) -> dict:
         if virtual_ns is not None:
             entry["virtual_ns"] = virtual_ns
             entry["virtual_sec_per_wall_sec"] = virtual_ns / 1e9 / wall_min
+        epochs = extra.get("epochs")
+        vm_virtual_ns = extra.get("vm_virtual_ns")
+        if epochs is not None:
+            entry["epochs"] = epochs
+            entry["epochs_per_sec"] = epochs / wall_min
+        if vm_virtual_ns is not None:
+            entry["vm_virtual_ns"] = vm_virtual_ns
+            entry["vm_sec_per_wall_sec"] = vm_virtual_ns / 1e9 / wall_min
         scenarios[name] = entry
     return {
         "schema": 1,
@@ -104,17 +142,16 @@ def summarize(raw: dict, quick: bool, kernel: str) -> dict:
     }
 
 
-def compare(current: dict, baseline: dict, max_regression: float) -> int:
-    """Regression gate on the small-quantum scenario; returns exit code."""
-    base_rate = baseline.get("scenarios", {}).get(GATED_SCENARIO, {}).get(
-        "events_per_sec"
-    )
-    cur_rate = current.get("scenarios", {}).get(GATED_SCENARIO, {}).get(
-        "events_per_sec"
-    )
+def compare(
+    current: dict, baseline: dict, max_regression: float, suite: dict
+) -> int:
+    """Regression gate on the suite's headline scenario; exit code."""
+    gated, metric, unit = suite["gated"], suite["metric"], suite["unit"]
+    base_rate = baseline.get("scenarios", {}).get(gated, {}).get(metric)
+    cur_rate = current.get("scenarios", {}).get(gated, {}).get(metric)
     if base_rate is None or cur_rate is None:
         print(
-            f"[bench] cannot compare: {GATED_SCENARIO} missing events_per_sec "
+            f"[bench] cannot compare: {gated} missing {metric} "
             f"(baseline={base_rate}, current={cur_rate})",
             file=sys.stderr,
         )
@@ -122,8 +159,8 @@ def compare(current: dict, baseline: dict, max_regression: float) -> int:
     floor = base_rate * (1.0 - max_regression)
     verdict = "OK" if cur_rate >= floor else "REGRESSION"
     print(
-        f"[bench] {GATED_SCENARIO}: {cur_rate:,.0f} ev/s vs baseline "
-        f"{base_rate:,.0f} ev/s (floor {floor:,.0f}, "
+        f"[bench] {gated}: {cur_rate:,.1f} {unit} vs baseline "
+        f"{base_rate:,.1f} {unit} (floor {floor:,.1f}, "
         f"-{max_regression:.0%} tolerance) -> {verdict}",
         file=sys.stderr,
     )
@@ -139,23 +176,32 @@ def main(argv: list[str] | None = None) -> int:
         help="CI smoke mode: 1 round and shorter simulated durations",
     )
     parser.add_argument(
+        "--suite", choices=sorted(SUITES), default="sim",
+        help="benchmark suite: 'sim' (single-host engine, BENCH_sim.json) "
+             "or 'fleet' (multi-host epoch loop, BENCH_fleet.json)",
+    )
+    parser.add_argument(
         "--kernel", choices=("heap", "wheel"), default="wheel",
         help="simulator kernel to measure (default: wheel)",
     )
     parser.add_argument(
-        "--out", default=str(REPO_ROOT / "BENCH_sim.json"), metavar="PATH",
-        help="where to write the summary (default: BENCH_sim.json at repo root)",
+        "--out", default=None, metavar="PATH",
+        help="where to write the summary (default: the suite's baseline "
+             "file at repo root)",
     )
     parser.add_argument(
         "--compare", default=None, metavar="BASELINE",
-        help="compare against a committed BENCH_sim.json and exit non-zero "
-             "if the small-quantum scenario regressed",
+        help="compare against a committed baseline JSON and exit non-zero "
+             "if the suite's gated scenario regressed",
     )
     parser.add_argument(
         "--max-regression", type=float, default=0.25, metavar="FRACTION",
         help="allowed events/sec drop vs the baseline (default: 0.25)",
     )
     args = parser.parse_args(argv)
+    suite = SUITES[args.suite]
+    if args.out is None:
+        args.out = str(REPO_ROOT / suite["out"])
 
     # resolve before running: --compare BENCH_sim.json with the default
     # --out must diff against the *committed* baseline, not the rewrite
@@ -168,25 +214,30 @@ def main(argv: list[str] | None = None) -> int:
         with open(baseline_path, encoding="utf-8") as handle:
             baseline = json.load(handle)
 
-    raw = run_suite(quick=args.quick, kernel=args.kernel)
+    raw = run_suite(
+        quick=args.quick, kernel=args.kernel, bench_file=suite["file"]
+    )
     summary = summarize(raw, quick=args.quick, kernel=args.kernel)
     out_path = Path(args.out)
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")
     for name, entry in sorted(summary["scenarios"].items()):
-        rate = entry.get("events_per_sec")
-        vsec = entry.get("virtual_sec_per_wall_sec")
         parts = [f"[bench] {name}: {entry['wall_seconds_min']:.4f}s"]
-        if rate is not None:
-            parts.append(f"{rate:,.0f} ev/s")
-        if vsec is not None:
-            parts.append(f"{vsec:.1f} vsec/wallsec")
+        for key, unit in (
+            ("events_per_sec", "ev/s"),
+            ("virtual_sec_per_wall_sec", "vsec/wallsec"),
+            ("epochs_per_sec", "epochs/s"),
+            ("vm_sec_per_wall_sec", "vm-sec/wallsec"),
+        ):
+            value = entry.get(key)
+            if value is not None:
+                parts.append(f"{value:,.1f} {unit}")
         print(" ".join(parts), file=sys.stderr)
     print(f"[bench] wrote {out_path}", file=sys.stderr)
 
     if baseline is not None:
-        return compare(summary, baseline, args.max_regression)
+        return compare(summary, baseline, args.max_regression, suite)
     return 0
 
 

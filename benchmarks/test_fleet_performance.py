@@ -1,0 +1,58 @@
+"""Bench: fleet epoch throughput at 32 hosts (not a paper artifact).
+
+Tracks the cost of the bulk-synchronous fleet loop — the quantity that
+bounds how large a placement study the repo can run.  One benchmark
+round drives a 32-host fleet through the ``weekday`` story under the
+AQL-aware placer and records ``extra_info["epochs"]`` (barriers
+crossed) and ``extra_info["vm_virtual_ns"]`` (simulated VM-time:
+resident VMs x epoch wall, summed over epochs) so
+``benchmarks/run_bench.py --suite fleet`` can derive **epochs/sec**
+and **simulated-VM-seconds per wall-second** for ``BENCH_fleet.json``.
+
+``REPRO_BENCH_QUICK=1`` shrinks epoch count and durations for the CI
+smoke job; the host count stays at 32 so the per-barrier fan-out cost
+being measured is the real one.  ``REPRO_JOBS`` shards the host cells
+exactly as it does for experiments — the committed baseline is serial.
+"""
+
+import os
+
+from repro.exec import SweepRunner
+from repro.fleet import STORIES, FleetSimulation, FleetSpec, make_placer
+from repro.sim.units import MS
+
+_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: the shape the bench pins: 32 hosts x 8 slots = 256 VM slots
+BENCH_SPEC = FleetSpec(
+    hosts=32,
+    host_class="medium",
+    vcpu_ratio=2,
+    epochs=2 if _QUICK else 3,
+    warmup_ns=(40 if _QUICK else 80) * MS,
+    epoch_ns=(120 if _QUICK else 240) * MS,
+    migration_lag_ns=(20 if _QUICK else 40) * MS,
+    migration_budget=8,
+)
+
+
+def test_fleet_epoch_throughput(benchmark):
+    """One fleet run: 32 hosts, diurnal weekday traffic, AQL placement."""
+
+    def run():
+        return FleetSimulation(
+            BENCH_SPEC,
+            STORIES["weekday"],
+            make_placer("aql_aware"),
+            seed=0,
+            runner=SweepRunner(),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    epoch_wall_ns = BENCH_SPEC.warmup_ns + BENCH_SPEC.epoch_ns
+    vm_epochs = sum(metrics.vms for metrics in result.epochs)
+    benchmark.extra_info["epochs"] = BENCH_SPEC.epochs
+    benchmark.extra_info["vm_virtual_ns"] = vm_epochs * epoch_wall_ns
+    assert len(result.epochs) == BENCH_SPEC.epochs
+    assert result.peak_vms >= 128  # the 0.99 peak of a 256-slot fleet
+    assert result.units > 0

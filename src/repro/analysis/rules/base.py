@@ -51,6 +51,7 @@ SIM_DOMAINS: tuple[str, ...] = (
     "repro.baselines",
     "repro.metrics",
     "repro.telemetry",
+    "repro.fleet",
 )
 
 DECISION_DOMAINS: tuple[str, ...] = (
@@ -60,6 +61,7 @@ DECISION_DOMAINS: tuple[str, ...] = (
     "repro.dynamics",
     "repro.sim",
     "repro.guest",
+    "repro.fleet",
 )
 
 HOT_PATH_MODULES: tuple[str, ...] = (

@@ -20,7 +20,12 @@ Guarantees (enforced by ``tests/test_exec_equivalence.py``):
 from repro.exec.cache import CacheEntry, CacheStats, ResultCache
 from repro.exec.cells import Cell, execute_cell
 from repro.exec.hashing import canonical, code_salt, fingerprint
-from repro.exec.progress import CellReport, ProgressPrinter
+from repro.exec.progress import (
+    CellReport,
+    ProgressHook,
+    ProgressPrinter,
+    StagedProgress,
+)
 from repro.exec.runner import ENV_JOBS, SweepRunner, resolve_jobs
 
 __all__ = [
@@ -29,8 +34,10 @@ __all__ = [
     "CacheEntry",
     "CacheStats",
     "ENV_JOBS",
+    "ProgressHook",
     "ProgressPrinter",
     "ResultCache",
+    "StagedProgress",
     "SweepRunner",
     "canonical",
     "code_salt",

@@ -1,9 +1,17 @@
-"""Per-cell progress reporting for long sweeps."""
+"""Per-cell progress reporting for long sweeps.
+
+Flat sweeps (one list of cells) report ``[i/total]`` lines.  Nested
+sweeps — the fleet simulator runs *epochs*, each of which shards a
+fleet of hosts over the pool — wrap their hook in
+:class:`StagedProgress` so every line carries the enclosing stage
+(``[weekday:aql_aware epoch 2/3] [12/64] ran host07``) instead of a
+meaningless flat cell count that resets every epoch.
+"""
 
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Optional, TextIO
 
 
@@ -17,6 +25,9 @@ class CellReport:
     outcome: str  # "hit" | "ran"
     seconds: float  # compute time (0.0 for cache hits)
     key: Optional[str] = None  # cache key, when caching is active
+    #: enclosing stage for nested work (e.g. ``"epoch 2/3"``); empty
+    #: for flat sweeps
+    stage: str = ""
 
 
 #: signature of a progress hook
@@ -36,8 +47,9 @@ class ProgressPrinter:
 
     def __call__(self, report: CellReport) -> None:
         width = len(str(report.total))
+        prefix = f"[{report.stage}] " if report.stage else ""
         print(
-            f"[{report.index + 1:{width}d}/{report.total}] "
+            f"{prefix}[{report.index + 1:{width}d}/{report.total}] "
             f"{report.outcome:<3s} {report.label} "
             f"({report.seconds:.2f}s)",
             file=self.stream,
@@ -45,4 +57,36 @@ class ProgressPrinter:
         )
 
 
-__all__ = ["CellReport", "ProgressHook", "ProgressPrinter"]
+class StagedProgress:
+    """Label nested sweeps: one base hook, many per-stage sub-hooks.
+
+    A driver that runs several inner sweeps (the fleet's epoch loop)
+    creates one ``StagedProgress`` over the caller's hook and asks for
+    a per-stage hook before each inner sweep; every report the inner
+    sweep emits is re-emitted with :attr:`CellReport.stage` set.  The
+    aggregate cell count across stages is tracked in
+    :attr:`cells_reported` so drivers can summarise total work done.
+    """
+
+    def __init__(self, base: Optional[ProgressHook]) -> None:
+        self.base = base
+        self.cells_reported = 0
+
+    def stage(self, label: str) -> Optional[ProgressHook]:
+        """A hook that tags every report with ``label``.
+
+        Returns None when the base hook is None (quiet mode), so
+        callers can hand the result straight to a SweepRunner.
+        """
+        if self.base is None:
+            return None
+
+        def hook(report: CellReport) -> None:
+            self.cells_reported += 1
+            assert self.base is not None
+            self.base(replace(report, stage=label))
+
+        return hook
+
+
+__all__ = ["CellReport", "ProgressHook", "ProgressPrinter", "StagedProgress"]

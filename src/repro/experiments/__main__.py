@@ -191,10 +191,23 @@ def _churn(fast: bool, runner: Optional[SweepRunner]) -> str:
     return render_churn(run_churn(fast=fast, runner=runner))
 
 
-#: the telemetry command's run, kept for the artifact flags
+#: the last telemetry-carrying run, kept for the artifact flags
 #: (``--telemetry-out`` / ``--trace-out`` export from the same
-#: simulation the report printed)
+#: simulation the report printed); set by the ``telemetry`` and
+#: ``fleet`` families
 LAST_TELEMETRY_REPORT = None
+
+#: families whose report carries an exportable telemetry record
+TELEMETRY_FAMILIES = ("telemetry", "fleet")
+
+
+def _fleet(fast: bool, runner: Optional[SweepRunner]) -> str:
+    from repro.experiments.fleet import render_fleet, run_fleet
+
+    global LAST_TELEMETRY_REPORT
+    report = run_fleet(fast=fast, runner=runner)
+    LAST_TELEMETRY_REPORT = report
+    return render_fleet(report)
 
 
 def _telemetry(fast: bool, runner: Optional[SweepRunner]) -> str:
@@ -232,6 +245,8 @@ EXPERIMENTS: dict[
     "random": ("generalisation: AQL on random colocation mixes", _random),
     "churn": ("dynamics: VM churn, phase changes & faults, AQL vs Xen",
               _churn),
+    "fleet": ("datacenter fleet: AQL-aware placement vs bin packing "
+              "under diurnal traffic", _fleet),
     "telemetry": ("decision audit: per-vCPU type-flip 'why' table + "
                   "pool-change ledger", _telemetry),
 }
@@ -286,8 +301,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--telemetry-out", default=None, metavar="PATH",
-        help="with the telemetry experiment: write the full telemetry "
-             "record (instruments, series, spans, audit) as JSONL to PATH",
+        help="with the telemetry or fleet experiment: write that run's "
+             "telemetry record (instruments, series, spans, audit) as "
+             "JSONL to PATH",
     )
     parser.add_argument(
         "--profile", nargs="?", const="-", default=None, metavar="DEST",
@@ -309,8 +325,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(exc))
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     # fail fast — before spending minutes running the experiments
-    if args.telemetry_out is not None and names != ["telemetry"]:
-        parser.error("--telemetry-out requires the telemetry experiment")
+    if args.telemetry_out is not None and (
+        len(names) != 1 or names[0] not in TELEMETRY_FAMILIES
+    ):
+        parser.error(
+            "--telemetry-out requires a single telemetry-carrying "
+            f"experiment ({', '.join(TELEMETRY_FAMILIES)})"
+        )
     if args.trace_out is not None and len(names) != 1:
         parser.error("--trace-out requires a single experiment")
 
@@ -337,7 +358,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.telemetry import write_jsonl
 
         report = LAST_TELEMETRY_REPORT
-        assert report is not None  # guaranteed: names == ["telemetry"]
+        assert report is not None  # guaranteed: a TELEMETRY_FAMILIES run
         count = write_jsonl(
             args.telemetry_out, report.telemetry,
             end_time_ns=report.end_time_ns,

@@ -21,7 +21,7 @@ like the static figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.baselines import AqlPolicy, XenCredit
@@ -41,7 +41,7 @@ from repro.dynamics import (
     build_records,
     random_timeline,
 )
-from repro.hardware.specs import i7_3770
+from repro.hypervisor.hostspec import HostSpec
 from repro.hypervisor.machine import Machine
 from repro.metrics.tables import ResultTable
 from repro.sim.units import MS, SEC
@@ -166,8 +166,9 @@ def _run_churn(
         raise ValueError(f"unknown policy {policy_name!r}")
     if measure_ns <= story.timeline.duration_ns:
         raise ValueError("measurement window ends before the last event")
-    spec = replace(i7_3770(), cores_per_socket=story.pcpus, sockets=1)
-    machine = Machine(spec, seed=seed, trace=trace, telemetry=telemetry)
+    machine = HostSpec(pcpus=story.pcpus).build(
+        seed=seed, trace=trace, telemetry=telemetry
+    )
     pool = machine.create_pool(
         "scenario", machine.topology.pcpus, 30 * MS
     )

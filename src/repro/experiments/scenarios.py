@@ -10,12 +10,13 @@ socket reserved for dom0) for the multi-socket case.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.baselines.base import PolicyContext
 from repro.core.types import VCpuType
-from repro.hardware.specs import MachineSpec, i7_3770, xeon_e5_4603
+from repro.hardware.specs import MachineSpec
+from repro.hypervisor.hostspec import HostSpec
 from repro.hypervisor.machine import Machine
 from repro.sim.tracing import TraceRecorder
 from repro.telemetry import Telemetry
@@ -65,17 +66,21 @@ class Scenario:
     def total_vcpus(self) -> int:
         return sum(p.vcpus for p in self.placements)
 
-    def machine_spec(self) -> MachineSpec:
-        """A spec with exactly the scenario's core count per socket."""
+    def host_spec(self) -> HostSpec:
+        """The frozen machine recipe with exactly this scenario's cores."""
         if self.sockets == 1:
-            base = i7_3770()
-            return replace(base, cores_per_socket=self.pcpus, sockets=1)
-        base = xeon_e5_4603()
+            return HostSpec(model="i7_3770", pcpus=self.pcpus, sockets=1)
         total_sockets = self.sockets + self.reserved_sockets
         per_socket = self.pcpus // self.sockets
-        return replace(
-            base, sockets=total_sockets, cores_per_socket=per_socket
+        return HostSpec(
+            model="xeon_e5_4603",
+            pcpus=per_socket * total_sockets,
+            sockets=total_sockets,
         )
+
+    def machine_spec(self) -> MachineSpec:
+        """A spec with exactly the scenario's core count per socket."""
+        return self.host_spec().machine_spec()
 
 
 #: Table 4: the five single-socket scenarios (16 vCPUs on 4 pCPUs).
@@ -194,8 +199,13 @@ def build_scenario(
     ``telemetry``/``trace`` are handed to the machine unchanged (both
     default to disabled recorders).
     """
-    spec = spec or scenario.machine_spec()
-    machine = Machine(spec, seed=seed, telemetry=telemetry, trace=trace)
+    if spec is None:
+        machine = scenario.host_spec().build(
+            seed=seed, telemetry=telemetry, trace=trace
+        )
+    else:
+        machine = Machine(spec, seed=seed, telemetry=telemetry, trace=trace)
+    spec = machine.spec
     built = BuiltScenario(scenario=scenario, machine=machine)
 
     usable = [

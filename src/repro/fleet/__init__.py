@@ -1,0 +1,77 @@
+"""``repro.fleet`` — datacenter-scale multi-host simulation.
+
+The fleet layer scales the single-machine simulator out to hundreds of
+hosts and thousands of VMs without ever holding more than one live
+machine per worker: hosts are rebuilt from frozen specs each epoch
+(:mod:`repro.fleet.model`), sharded across the :mod:`repro.exec`
+process pool, and stitched together by a bulk-synchronous epoch
+barrier (:mod:`repro.fleet.engine`) where traffic
+(:mod:`repro.fleet.traffic`) and placement
+(:mod:`repro.fleet.placement`) decisions happen.
+
+The headline experiment (``python -m repro.experiments fleet``)
+compares classical bin-packing placement against an AQL-aware placer
+that co-locates VMs by detected vTRS type — turning the paper's
+per-host scheduling insight into a datacenter-level placement signal.
+"""
+
+from repro.fleet.catalog import (
+    HOST_CATALOG,
+    MODE_PRIOR,
+    VMSpec,
+    VM_CATALOG,
+    derive_seed,
+)
+from repro.fleet.engine import FleetSimulation, FleetSpec, run_fleet_story
+from repro.fleet.metrics import EpochMetrics, FleetRun, fold_epoch, fold_run
+from repro.fleet.model import SCHEDULERS, HostEpochResult, run_host_epoch
+from repro.fleet.placement import (
+    PLACERS,
+    AqlAware,
+    BestFit,
+    FirstFit,
+    HostState,
+    Migration,
+    Placer,
+    PlacementError,
+    make_placer,
+)
+from repro.fleet.traffic import (
+    STORIES,
+    DiurnalStory,
+    EpochTraffic,
+    TrafficGenerator,
+    event_offset_ns,
+)
+
+__all__ = [
+    "AqlAware",
+    "BestFit",
+    "DiurnalStory",
+    "EpochMetrics",
+    "EpochTraffic",
+    "FirstFit",
+    "FleetRun",
+    "FleetSimulation",
+    "FleetSpec",
+    "HOST_CATALOG",
+    "HostEpochResult",
+    "HostState",
+    "MODE_PRIOR",
+    "Migration",
+    "PLACERS",
+    "Placer",
+    "PlacementError",
+    "SCHEDULERS",
+    "STORIES",
+    "TrafficGenerator",
+    "VMSpec",
+    "VM_CATALOG",
+    "derive_seed",
+    "event_offset_ns",
+    "fold_epoch",
+    "fold_run",
+    "make_placer",
+    "run_fleet_story",
+    "run_host_epoch",
+]

@@ -1,0 +1,91 @@
+"""The fleet's shared host/VM catalog.
+
+A datacenter run is described entirely by frozen specs: host classes
+are :class:`~repro.hypervisor.hostspec.HostSpec` recipes (the same
+recipe the fuzzer and the experiment families build machines from),
+and VM flavours map onto the :mod:`repro.dynamics` workload modes.
+Everything here is plain picklable data, because specs travel into
+host-epoch cells across the :mod:`repro.exec` process pool and into
+cache keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.types import VCpuType
+from repro.dynamics.events import MODES
+from repro.hypervisor.hostspec import HostSpec
+
+#: host classes a fleet can be built from (homogeneous per fleet)
+HOST_CATALOG: dict[str, HostSpec] = {
+    "small": HostSpec(model="i7_3770", pcpus=2),
+    "medium": HostSpec(model="i7_3770", pcpus=4),
+    "large": HostSpec(model="xeon_e5_4603", pcpus=8, sockets=2),
+}
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """One VM in the fleet: a name and a behaviour mode.
+
+    The mode selects the :class:`~repro.dynamics.SwitchableWorkload`
+    behaviour (and thereby the vTRS type the host's scheduler will
+    eventually detect); phase changes between epochs replace the spec
+    with one carrying the new mode.
+    """
+
+    name: str
+    mode: str
+    vcpus: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("VM needs a name")
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; choose from {MODES}")
+        if self.vcpus != 1:
+            raise ValueError("fleet VMs are single-vCPU (one slot each)")
+
+
+#: VM flavours the traffic generator draws from: flavour -> mode
+VM_CATALOG: dict[str, str] = {
+    "web": "io",  # closed-loop request service + CGI burner
+    "batch": "llcf",  # cache-friendly compute
+    "stream": "llco",  # LLC-overflowing scans
+    "lock": "spin",  # dense lock activity
+    "light": "lolcf",  # small-footprint filler
+}
+
+#: expected vTRS type per workload mode — the placer's prior for a VM
+#: the host scheduler has not yet classified
+MODE_PRIOR: dict[str, str] = {
+    "io": str(VCpuType.IOINT),
+    "spin": str(VCpuType.CONSPIN),
+    "llcf": str(VCpuType.LLCF),
+    "llco": str(VCpuType.LLCO),
+    "lolcf": str(VCpuType.LOLCF),
+}
+
+
+def derive_seed(*parts: object) -> int:
+    """A stable 63-bit seed from structured parts (sha256-derived).
+
+    The fleet derives every per-host-epoch machine seed and every
+    traffic stream this way, so adding a host or an epoch never
+    perturbs the seeds of existing ones — the same property
+    :class:`~repro.sim.rng.RngFactory` gives streams inside a machine.
+    """
+    text = "/".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "little") >> 1
+
+
+__all__ = [
+    "HOST_CATALOG",
+    "MODE_PRIOR",
+    "VMSpec",
+    "VM_CATALOG",
+    "derive_seed",
+]

@@ -1,0 +1,131 @@
+"""Fleet-level metric folds over host-epoch results.
+
+Pure functions from :class:`~repro.fleet.model.HostEpochResult`
+sequences to summary numbers, built on the shared series helpers in
+:mod:`repro.metrics.stats` — every number is a deterministic fold over
+per-cell values, so serial, sharded and cache-replayed fleet runs
+summarise identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.fleet.model import HostEpochResult
+from repro.metrics.stats import percentile
+from repro.sim.units import MS
+
+
+@dataclass
+class EpochMetrics:
+    """One epoch of the fleet, folded across its hosts."""
+
+    epoch: int
+    #: resident population once the epoch's churn has been applied
+    vms: int
+    #: hosts that ran at least one VM this epoch
+    active_hosts: int
+    arrivals: int
+    departures: int
+    #: inter-host placement migrations applied at this epoch's barrier
+    migrations: int
+    #: p99 request latency across every io VM in the fleet (ms)
+    p99_ms: float
+    #: mean busy fraction across active hosts
+    mean_util: float
+    #: max-min busy fraction across active hosts (placement balance)
+    util_spread: float
+    #: VMs per active host
+    consolidation: float
+    #: work units completed fleet-wide
+    units: int
+
+
+def fold_epoch(
+    epoch: int,
+    results: Sequence[HostEpochResult],
+    vms: int,
+    arrivals: int,
+    departures: int,
+    migrations: int,
+) -> EpochMetrics:
+    """Fold one epoch's host results into fleet metrics."""
+    latencies: list[float] = []
+    utils: list[float] = []
+    units = 0
+    active = 0
+    for result in results:
+        if not result.vm_values:
+            continue
+        active += 1
+        latencies.extend(result.io_latencies_ns)
+        utils.append(result.util)
+        units += result.units
+    return EpochMetrics(
+        epoch=epoch,
+        vms=vms,
+        active_hosts=active,
+        arrivals=arrivals,
+        departures=departures,
+        migrations=migrations,
+        p99_ms=(percentile(latencies, 99.0) / MS) if latencies else 0.0,
+        mean_util=(sum(utils) / len(utils)) if utils else 0.0,
+        util_spread=(max(utils) - min(utils)) if utils else 0.0,
+        consolidation=(vms / active) if active else 0.0,
+        units=units,
+    )
+
+
+@dataclass
+class FleetRun:
+    """One (story, placer) fleet simulation, fully folded (picklable)."""
+
+    story: str
+    placer: str
+    hosts: int
+    epochs: list[EpochMetrics] = field(default_factory=list)
+    #: largest end-of-epoch population seen
+    peak_vms: int = 0
+    total_migrations: int = 0
+    #: p99 over every request latency across all epochs (ms)
+    p99_ms: float = 0.0
+    #: mean VMs-per-active-host over epochs
+    consolidation: float = 0.0
+    #: inter-host migrations per VM-epoch (placement churn)
+    migration_churn: float = 0.0
+    units: int = 0
+    #: summed per-cell telemetry (empty unless telemetry was on)
+    telemetry_summary: dict[str, float] = field(default_factory=dict)
+
+
+def fold_run(
+    story: str,
+    placer: str,
+    hosts: int,
+    epochs: Sequence[EpochMetrics],
+    all_latencies_ns: Sequence[float],
+) -> FleetRun:
+    """Fold per-epoch metrics into the run-level summary."""
+    run = FleetRun(story=story, placer=placer, hosts=hosts)
+    run.epochs = list(epochs)
+    run.peak_vms = max((e.vms for e in epochs), default=0)
+    run.total_migrations = sum(e.migrations for e in epochs)
+    run.p99_ms = (
+        percentile(all_latencies_ns, 99.0) / MS if all_latencies_ns else 0.0
+    )
+    populated = [e for e in epochs if e.active_hosts]
+    run.consolidation = (
+        sum(e.consolidation for e in populated) / len(populated)
+        if populated
+        else 0.0
+    )
+    vm_epochs = sum(e.vms for e in epochs)
+    run.migration_churn = (
+        run.total_migrations / vm_epochs if vm_epochs else 0.0
+    )
+    run.units = sum(e.units for e in epochs)
+    return run
+
+
+__all__ = ["EpochMetrics", "FleetRun", "fold_epoch", "fold_run"]

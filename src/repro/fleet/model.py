@@ -1,0 +1,158 @@
+"""The fleet's unit of simulation: one host for one epoch.
+
+Live machines do not pickle, so the fleet is bulk-synchronous and
+quasi-static: :func:`run_host_epoch` is a module-level pure function
+of plain data — the :class:`~repro.hypervisor.hostspec.HostSpec`, the
+resident VM specs, the epoch's churn timeline and a derived seed — and
+therefore a legal :class:`~repro.exec.cells.Cell` payload.  Each epoch
+the engine rebuilds every host from its spec, runs it, and collects a
+:class:`HostEpochResult`; placement decisions happen only between
+epochs, at the barrier.  Because a cell's result depends on nothing
+but its arguments, sharding hosts across the process pool is
+byte-identical to running them serially (pinned by
+``tests/test_fleet_engine.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import AqlPolicy, PolicyContext, XenCredit
+from repro.dynamics import ChurnEngine, ChurnTimeline, SwitchableWorkload
+from repro.fleet.catalog import VMSpec
+from repro.hypervisor.hostspec import HostSpec
+from repro.metrics.stats import StatsCollector
+from repro.sim.units import MS
+from repro.telemetry import Telemetry
+
+#: host schedulers a fleet can run (every host runs the same one)
+SCHEDULERS = ("aql", "xen")
+
+
+@dataclass
+class HostEpochResult:
+    """Everything one host produced during one epoch (picklable)."""
+
+    host_id: str
+    #: ns-per-unit for every VM alive (and productive) at epoch end
+    vm_values: dict[str, float] = field(default_factory=dict)
+    vm_modes: dict[str, str] = field(default_factory=dict)
+    #: request latencies measured this epoch across the host's io VMs
+    io_latencies_ns: tuple[float, ...] = ()
+    #: busy fraction of the host's fleet pool over the epoch
+    util: float = 0.0
+    #: intra-host vCPU->pCPU migrations (scheduler activity, not
+    #: inter-host placement moves)
+    vcpu_migrations: int = 0
+    events_applied: int = 0
+    #: work units completed in the measured window
+    units: int = 0
+    #: vm name -> vTRS type label the host's AQL manager last assigned
+    detected: dict[str, str] = field(default_factory=dict)
+    telemetry_summary: dict[str, float] = field(default_factory=dict)
+
+
+def run_host_epoch(
+    host_id: str,
+    host: HostSpec,
+    residents: tuple[VMSpec, ...],
+    timeline: ChurnTimeline,
+    warmup_ns: int,
+    measure_ns: int,
+    seed: int,
+    scheduler: str = "aql",
+    clients: int = 4,
+    telemetry: bool = False,
+) -> HostEpochResult:
+    """Build one host from specs, run one epoch, summarise.
+
+    Residents are installed before t=0 (they survived from the last
+    epoch); arrivals and migrants-in enter through the timeline's
+    ``VmBoot`` events, departures through ``VmShutdown`` — so a
+    migration costs its victim the migration lag at the start of the
+    epoch, like a real stop-and-copy.
+    """
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}"
+        )
+    if measure_ns <= timeline.duration_ns:
+        raise ValueError("epoch ends before its last churn event")
+    tel = Telemetry(enabled=telemetry)
+    machine = host.build(seed=seed, telemetry=tel)
+    pool = machine.create_pool("fleet", machine.topology.pcpus, 30 * MS)
+    workloads: dict[str, SwitchableWorkload] = {}
+    for spec in residents:
+        vm = machine.new_vm(spec.name, spec.vcpus)
+        vcpu = vm.vcpus[0]
+        machine.default_pool.remove_vcpu(vcpu)
+        pool.add_vcpu(vcpu)
+        workload = SwitchableWorkload(spec.name, mode=spec.mode, clients=clients)
+        workload.install(machine, vm)
+        workloads[spec.name] = workload
+
+    ctx = PolicyContext(pool=pool)
+    policy = XenCredit() if scheduler == "xen" else AqlPolicy()
+    policy.setup(machine, ctx)
+    machine.run(warmup_ns)
+    for workload in workloads.values():
+        workload.begin_measurement()
+    latency_start = {
+        name: len(workload.latencies_ns)
+        for name, workload in workloads.items()
+    }
+    units_start = {
+        name: workload.units_done for name, workload in workloads.items()
+    }
+    stats = StatsCollector(machine)
+    stats.start()
+    engine = ChurnEngine(
+        machine,
+        timeline,
+        workloads=workloads,
+        allowed_pcpus=pool.pcpus,
+        clients=clients,
+    )
+    engine.arm()
+    machine.run(measure_ns)
+    machine.sync()
+
+    result = HostEpochResult(host_id=host_id)
+    window = stats.collect()
+    # AQL splits the fleet pool into per-type pools, so "the host's
+    # utilization" is the machine-wide busy fraction, not one pool's
+    result.util = window.machine_utilization
+    latencies: list[float] = []
+    for name in sorted(workloads):
+        workload = workloads[name]
+        if workload.vm is None or not workload.vm.alive:
+            continue
+        if workload.units_done - units_start.get(name, 0) <= 0:
+            continue  # booted too late to do any work this epoch
+        perf = workload.result()
+        result.vm_values[name] = perf.value
+        result.vm_modes[name] = workload.mode
+        latencies.extend(workload.latencies_ns[latency_start.get(name, 0):])
+    result.io_latencies_ns = tuple(latencies)
+    result.vcpu_migrations = machine.migrations_total
+    result.events_applied = len(engine.applied)
+    result.units = sum(
+        workloads[name].units_done for name in sorted(workloads)
+    )
+    manager = getattr(policy, "manager", None)
+    if manager is not None and manager.last_types:
+        by_vcpu = {
+            vcpu.vcpu_id: vcpu for vcpu in machine.all_vcpus
+        }
+        for vcpu_id in sorted(manager.last_types):
+            vcpu = by_vcpu.get(vcpu_id)
+            if vcpu is None or not vcpu.vm.alive:
+                continue
+            result.detected[vcpu.vm.name] = str(manager.last_types[vcpu_id])
+    if telemetry:
+        tel.tracer.close_all(machine.sim.now)
+        result.telemetry_summary = tel.summary()
+    return result
+
+
+__all__ = ["SCHEDULERS", "HostEpochResult", "run_host_epoch"]

@@ -1,0 +1,294 @@
+"""VM placement over the fleet: bin-packing baselines + AQL-aware.
+
+A placer answers two questions at each epoch barrier: where do
+arriving VMs go (:meth:`Placer.place`), and which resident VMs are
+worth migrating before the next epoch starts
+(:meth:`Placer.rebalance`).  It sees the fleet as a sorted tuple of
+:class:`HostState` views plus a ``vm name -> vTRS type`` map (the
+detected type once the host scheduler has classified the VM, the
+mode-derived prior before that).
+
+``first_fit`` / ``best_fit`` are classical bin packers and never
+migrate.  ``aql_aware`` exploits the paper's central observation —
+each vTRS type wants a *different* quantum, and AQL_Sched carves one
+cpupool per type — by co-locating VMs of the same type: fewer distinct
+types per host means fewer, larger pools and less pCPU fragmentation.
+Between epochs it moves type-minority VMs to hosts where their type
+already dominates, bounded by a per-epoch migration budget.
+
+Everything iterates in sorted/host order, so placement is a pure
+function of its inputs (the serial ≡ sharded equivalence depends on
+it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.core.types import VCpuType
+from repro.fleet.catalog import MODE_PRIOR, VMSpec
+
+
+class PlacementError(RuntimeError):
+    """The fleet has no slot left for an arriving VM."""
+
+
+@dataclass(frozen=True)
+class HostState:
+    """A placer's view of one host at an epoch barrier."""
+
+    host_id: str
+    slots: int
+    vms: tuple[str, ...]
+
+    @property
+    def free(self) -> int:
+        return self.slots - len(self.vms)
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError(f"{self.host_id}: need at least one slot")
+        if len(self.vms) > self.slots:
+            raise ValueError(
+                f"{self.host_id}: {len(self.vms)} VMs exceed "
+                f"{self.slots} slots"
+            )
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One inter-host move decided at an epoch barrier."""
+
+    vm: str
+    src: str
+    dst: str
+
+
+def vm_type(vm: str, spec: VMSpec, types: Mapping[str, str]) -> str:
+    """Detected vTRS type when known, else the mode-derived prior."""
+    return types.get(vm, MODE_PRIOR[spec.mode])
+
+
+class Placer:
+    """Placement policy interface (stateless; all state is arguments)."""
+
+    name = "base"
+
+    def place(
+        self,
+        arrivals: Sequence[VMSpec],
+        hosts: Sequence[HostState],
+        types: Mapping[str, str],
+    ) -> dict[str, str]:
+        """Assign every arrival a host; ``vm name -> host id``."""
+        raise NotImplementedError
+
+    def rebalance(
+        self,
+        hosts: Sequence[HostState],
+        types: Mapping[str, str],
+        budget: int,
+    ) -> list[Migration]:
+        """Inter-host moves for the next epoch (empty by default)."""
+        return []
+
+
+class FirstFit(Placer):
+    """Scan hosts in id order; take the first with a free slot."""
+
+    name = "first_fit"
+
+    def place(
+        self,
+        arrivals: Sequence[VMSpec],
+        hosts: Sequence[HostState],
+        types: Mapping[str, str],
+    ) -> dict[str, str]:
+        free = {host.host_id: host.free for host in hosts}
+        assignment: dict[str, str] = {}
+        for vm in arrivals:
+            for host in hosts:
+                if free[host.host_id] > 0:
+                    assignment[vm.name] = host.host_id
+                    free[host.host_id] -= 1
+                    break
+            else:
+                raise PlacementError(f"no slot left for {vm.name!r}")
+        return assignment
+
+
+class BestFit(Placer):
+    """Tightest fit: the fullest host that still has a slot."""
+
+    name = "best_fit"
+
+    def place(
+        self,
+        arrivals: Sequence[VMSpec],
+        hosts: Sequence[HostState],
+        types: Mapping[str, str],
+    ) -> dict[str, str]:
+        free = {host.host_id: host.free for host in hosts}
+        assignment: dict[str, str] = {}
+        for vm in arrivals:
+            best: Optional[HostState] = None
+            for host in hosts:
+                slack = free[host.host_id]
+                if slack <= 0:
+                    continue
+                if best is None or slack < free[best.host_id]:
+                    best = host
+            if best is None:
+                raise PlacementError(f"no slot left for {vm.name!r}")
+            assignment[vm.name] = best.host_id
+            free[best.host_id] -= 1
+        return assignment
+
+
+def _plurality(counts: Mapping[str, int]) -> Optional[str]:
+    """The host's dominant type (max count, lexicographic tie-break)."""
+    best: Optional[str] = None
+    for label in sorted(counts):
+        if counts[label] <= 0:
+            continue
+        if best is None or counts[label] > counts[best]:
+            best = label
+    return best
+
+
+class AqlAware(Placer):
+    """Co-locate VMs by vTRS type; migrate minorities at barriers."""
+
+    name = "aql_aware"
+
+    #: the placer's prior for a VM whose type nobody knows yet
+    default_type = str(VCpuType.LOLCF)
+
+    def place(
+        self,
+        arrivals: Sequence[VMSpec],
+        hosts: Sequence[HostState],
+        types: Mapping[str, str],
+    ) -> dict[str, str]:
+        free = {host.host_id: host.free for host in hosts}
+        # per-host type histogram, updated as arrivals land
+        counts: dict[str, dict[str, int]] = {}
+        for host in hosts:
+            histogram: dict[str, int] = {}
+            for vm in host.vms:
+                label = types.get(vm, self.default_type)
+                histogram[label] = histogram.get(label, 0) + 1
+            counts[host.host_id] = histogram
+
+        assignment: dict[str, str] = {}
+        for vm in arrivals:
+            label = types.get(vm.name, MODE_PRIOR[vm.mode])
+            best: Optional[HostState] = None
+            best_key: tuple[int, int] = (-1, -1)
+            for host in hosts:
+                slack = free[host.host_id]
+                if slack <= 0:
+                    continue
+                same = counts[host.host_id].get(label, 0)
+                # most type-mates first; among equals, the emptiest
+                # host (a fresh "type home" instead of a mixed one)
+                key = (same, slack)
+                if best is None or key > best_key:
+                    best, best_key = host, key
+            if best is None:
+                raise PlacementError(f"no slot left for {vm.name!r}")
+            assignment[vm.name] = best.host_id
+            free[best.host_id] -= 1
+            histogram = counts[best.host_id]
+            histogram[label] = histogram.get(label, 0) + 1
+        return assignment
+
+    def rebalance(
+        self,
+        hosts: Sequence[HostState],
+        types: Mapping[str, str],
+        budget: int,
+    ) -> list[Migration]:
+        free = {host.host_id: host.free for host in hosts}
+        counts: dict[str, dict[str, int]] = {}
+        for host in hosts:
+            histogram: dict[str, int] = {}
+            for vm in host.vms:
+                label = types.get(vm, self.default_type)
+                histogram[label] = histogram.get(label, 0) + 1
+            counts[host.host_id] = histogram
+
+        moves: list[Migration] = []
+        for host in hosts:
+            if len(moves) >= budget:
+                break
+            for vm in sorted(host.vms):
+                if len(moves) >= budget:
+                    break
+                label = types.get(vm, self.default_type)
+                dominant = _plurality(counts[host.host_id])
+                if dominant is None or label == dominant:
+                    continue
+                # a minority VM: find a host where its type already
+                # rules and a slot is open; failing that, an empty
+                # host seeds a fresh home for the type
+                best: Optional[HostState] = None
+                best_same = 0
+                fallback: Optional[HostState] = None
+                for candidate in hosts:
+                    if candidate.host_id == host.host_id:
+                        continue
+                    if free[candidate.host_id] <= 0:
+                        continue
+                    ruling = _plurality(counts[candidate.host_id])
+                    if ruling is None and fallback is None:
+                        fallback = candidate
+                    if ruling != label:
+                        continue
+                    same = counts[candidate.host_id].get(label, 0)
+                    if best is None or same > best_same:
+                        best, best_same = candidate, same
+                if best is None:
+                    best = fallback
+                if best is None:
+                    continue
+                moves.append(Migration(vm, host.host_id, best.host_id))
+                free[host.host_id] += 1
+                free[best.host_id] -= 1
+                src_histogram = counts[host.host_id]
+                src_histogram[label] = src_histogram.get(label, 0) - 1
+                dst_histogram = counts[best.host_id]
+                dst_histogram[label] = dst_histogram.get(label, 0) + 1
+        return moves
+
+
+#: placement policies the fleet experiment compares, by name
+PLACERS: dict[str, type[Placer]] = {
+    FirstFit.name: FirstFit,
+    BestFit.name: BestFit,
+    AqlAware.name: AqlAware,
+}
+
+
+def make_placer(name: str) -> Placer:
+    cls = PLACERS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown placer {name!r}; choose from {sorted(PLACERS)}"
+        )
+    return cls()
+
+
+__all__ = [
+    "AqlAware",
+    "BestFit",
+    "FirstFit",
+    "HostState",
+    "Migration",
+    "PLACERS",
+    "Placer",
+    "PlacementError",
+    "make_placer",
+    "vm_type",
+]

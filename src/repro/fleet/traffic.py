@@ -1,0 +1,199 @@
+"""Open-loop fleet traffic: seeded diurnal load curves.
+
+A :class:`DiurnalStory` is a repeating load shape (fraction of the
+fleet's VM-slot capacity per epoch) plus a flavour mix and churn
+rates.  The :class:`TrafficGenerator` turns it into per-epoch
+:class:`EpochTraffic` plans — arrivals, departures and phase changes —
+expressed in the :mod:`repro.dynamics` churn vocabulary by the fleet
+engine.
+
+Determinism: every draw flows through a per-``(seed, story, epoch)``
+:class:`~repro.sim.rng.RngFactory` stream, and all candidate lists are
+sorted before sampling, so the plan for epoch *e* is a pure function
+of the fleet seed and the story — independent of sharding, placement
+policy, or how previous epochs were executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.fleet.catalog import VM_CATALOG, VMSpec, derive_seed
+from repro.sim.rng import RngFactory
+from repro.sim.units import MS
+
+
+@dataclass(frozen=True)
+class DiurnalStory:
+    """A named load curve: the fleet's day, one entry per epoch slot."""
+
+    name: str
+    #: target population as a fraction of slot capacity, indexed by
+    #: ``epoch % len(shape)`` — the diurnal cycle
+    shape: tuple[float, ...]
+    #: ``(flavour, weight)`` draw table for arriving VMs
+    flavor_mix: tuple[tuple[str, float], ...]
+    #: fraction of the alive population departing each epoch (on top
+    #: of any curve-driven shrink)
+    churn: float = 0.06
+    #: fraction of surviving VMs switching behaviour mode each epoch
+    phase_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("story needs at least one shape slot")
+        for value in self.shape:
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"shape values must be in (0, 1], got {value}")
+        if not self.flavor_mix:
+            raise ValueError("story needs a flavour mix")
+        for flavor, weight in self.flavor_mix:
+            if flavor not in VM_CATALOG:
+                raise ValueError(f"unknown flavour {flavor!r}")
+            if weight <= 0:
+                raise ValueError(f"flavour {flavor!r}: weight must be > 0")
+        if not 0.0 <= self.churn < 1.0:
+            raise ValueError("churn must be in [0, 1)")
+        if not 0.0 <= self.phase_rate < 1.0:
+            raise ValueError("phase_rate must be in [0, 1)")
+
+
+#: the two stock diurnal stories the fleet experiment compares
+STORIES: dict[str, DiurnalStory] = {
+    # an office day: quiet morning, sustained busy plateau, evening
+    # drain — the web/batch mix of an interactive service
+    "weekday": DiurnalStory(
+        "weekday",
+        shape=(0.45, 0.75, 0.99, 0.9, 0.65, 0.4),
+        flavor_mix=(
+            ("web", 0.35),
+            ("batch", 0.25),
+            ("stream", 0.15),
+            ("lock", 0.1),
+            ("light", 0.15),
+        ),
+    ),
+    # overnight batch windows: load swings hard between analytics
+    # bursts and near-idle valleys, heavy on cache-hungry flavours
+    "batchnight": DiurnalStory(
+        "batchnight",
+        shape=(0.35, 0.9, 0.5, 0.95, 0.4, 0.85),
+        flavor_mix=(
+            ("batch", 0.35),
+            ("stream", 0.3),
+            ("web", 0.15),
+            ("light", 0.2),
+        ),
+        churn=0.1,
+        phase_rate=0.08,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class EpochTraffic:
+    """What the outside world does to the fleet during one epoch."""
+
+    epoch: int
+    target: int
+    arrivals: tuple[VMSpec, ...]
+    departures: tuple[str, ...]
+    #: ``(vm name, new mode)`` per phase change
+    phase_changes: tuple[tuple[str, str], ...]
+
+
+def event_offset_ns(seed: int, epoch: int, name: str, span_ns: int) -> int:
+    """Where inside the epoch a VM's churn event fires (deterministic).
+
+    A stable hash of ``(seed, epoch, name)`` spread over ``span_ns`` in
+    1 ms steps, starting at 1 ms so events never collide with the
+    epoch's own t=0 boundary work.
+    """
+    steps = max(1, span_ns // MS)
+    return MS * (1 + derive_seed(seed, "offset", epoch, name) % steps)
+
+
+class TrafficGenerator:
+    """Seeded open-loop arrivals/departures/phase changes per epoch."""
+
+    def __init__(self, story: DiurnalStory, capacity: int, seed: int) -> None:
+        if capacity < 1:
+            raise ValueError("fleet capacity must be at least one slot")
+        self.story = story
+        self.capacity = capacity
+        self.seed = seed
+        self._rng = RngFactory(derive_seed(seed, "traffic", story.name))
+        self._counter = 0
+
+    def target(self, epoch: int) -> int:
+        """The curve's population target for this epoch slot."""
+        fraction = self.story.shape[epoch % len(self.story.shape)]
+        return max(1, round(self.capacity * fraction))
+
+    def _draw_flavor(self, fraction: float) -> str:
+        total = sum(weight for _, weight in self.story.flavor_mix)
+        cursor = fraction * total
+        for flavor, weight in self.story.flavor_mix:
+            cursor -= weight
+            if cursor < 0:
+                return flavor
+        return self.story.flavor_mix[-1][0]
+
+    def epoch_plan(
+        self, epoch: int, alive: Mapping[str, VMSpec]
+    ) -> EpochTraffic:
+        """Plan one epoch against the current population."""
+        stream = self._rng.stream(f"epoch/{epoch}")
+        names = sorted(alive)
+        target = self.target(epoch)
+
+        # background churn: a seeded sample of the population leaves
+        leaving = round(len(names) * self.story.churn)
+        departures: list[str] = []
+        if leaving:
+            picks = stream.choice(len(names), size=leaving, replace=False)
+            departures = sorted(names[int(i)] for i in picks)
+        survivors = [name for name in names if name not in set(departures)]
+
+        # then the curve: drain down or arrive up to the target
+        deficit = target - len(survivors)
+        while deficit < 0 and survivors:
+            index = int(stream.integers(0, len(survivors)))
+            departures.append(survivors.pop(index))
+            deficit += 1
+        arrivals: list[VMSpec] = []
+        for _ in range(max(0, deficit)):
+            flavor = self._draw_flavor(float(stream.random()))
+            name = f"vm{self._counter:05d}"
+            self._counter += 1
+            arrivals.append(VMSpec(name=name, mode=VM_CATALOG[flavor]))
+
+        # phase changes on a seeded sample of the survivors
+        flips = round(len(survivors) * self.story.phase_rate)
+        phase_changes: list[tuple[str, str]] = []
+        if flips:
+            picks = stream.choice(len(survivors), size=flips, replace=False)
+            modes = sorted(set(VM_CATALOG.values()))
+            for i in sorted(int(p) for p in picks):
+                name = survivors[i]
+                others = [m for m in modes if m != alive[name].mode]
+                phase_changes.append(
+                    (name, others[int(stream.integers(0, len(others)))])
+                )
+        return EpochTraffic(
+            epoch=epoch,
+            target=target,
+            arrivals=tuple(arrivals),
+            departures=tuple(sorted(departures)),
+            phase_changes=tuple(phase_changes),
+        )
+
+
+__all__ = [
+    "STORIES",
+    "DiurnalStory",
+    "EpochTraffic",
+    "TrafficGenerator",
+    "event_offset_ns",
+]

@@ -20,7 +20,7 @@ read-only (enforced by fingerprinting).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.baselines import (
@@ -36,7 +36,6 @@ from repro.core.types import VCpuType
 from repro.dynamics import ChurnEngine, SwitchableWorkload
 from repro.fuzz.inject import apply_injection
 from repro.fuzz.scenario import FuzzScenario, scenario_problems
-from repro.hardware.specs import i7_3770
 from repro.hypervisor.machine import Machine
 from repro.sim.units import MS
 from repro.telemetry import Telemetry
@@ -90,8 +89,7 @@ def run_scenario_fuzz(scenario: FuzzScenario) -> FuzzOutcome:
             f"scenario is not runnable: {'; '.join(problems)}"
         )
     telemetry = Telemetry(enabled=True)
-    spec = replace(i7_3770(), cores_per_socket=scenario.pcpus, sockets=1)
-    machine = Machine(spec, seed=scenario.seed, telemetry=telemetry)
+    machine = scenario.host_spec.build(seed=scenario.seed, telemetry=telemetry)
     pool = machine.create_pool("scenario", machine.topology.pcpus, 30 * MS)
     oracle: dict[int, VCpuType] = {}
     workloads: dict[str, SwitchableWorkload] = {}

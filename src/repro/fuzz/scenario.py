@@ -31,6 +31,7 @@ from repro.dynamics.events import (
     VmBoot,
     VmShutdown,
 )
+from repro.hypervisor.hostspec import HostSpec
 from repro.sim.units import MS
 
 #: every policy the fuzzer can drive a scenario under
@@ -82,6 +83,11 @@ class FuzzScenario:
     def measure_ns(self) -> int:
         """Measured window: through the last event plus the tail."""
         return self.timeline.duration_ns + self.tail_ns
+
+    @property
+    def host_spec(self) -> HostSpec:
+        """The machine shape this scenario runs on (shared recipe)."""
+        return HostSpec(pcpus=self.pcpus)
 
     # ------------------------------------------------------------------
     # serialisation

@@ -13,15 +13,19 @@ This package reproduces the Xen mechanisms the paper builds on:
   10 ms accounting ticks, UNDER/OVER states, BOOST on IO wake-up,
   round-robin run queues, intra-pool work stealing;
 * :mod:`repro.hypervisor.machine` — the execution engine that dispatches
-  vCPUs, interprets guest phases and integrates CPU/cache segments.
+  vCPUs, interprets guest phases and integrates CPU/cache segments;
+* :mod:`repro.hypervisor.hostspec` — the frozen machine-construction
+  recipe (topology + scheduler params) every subsystem builds from.
 """
 
 from repro.hypervisor.event_channel import EventPort
+from repro.hypervisor.hostspec import HostSpec
 from repro.hypervisor.machine import Machine
 from repro.hypervisor.pools import CpuPool
 from repro.hypervisor.vm import VM, Priority, VCpu, VCpuState
 
 __all__ = [
+    "HostSpec",
     "Machine",
     "VM",
     "VCpu",

@@ -1,0 +1,80 @@
+"""Golden regression snapshot of the fleet placement comparison.
+
+Pins the summary numbers of a small-but-real fleet run — 4 hosts,
+up to 24 VMs, 2 epochs of the ``weekday`` story under all three
+placement policies — against ``tests/golden/fleet_comparison.json``.
+Regenerate intentionally with
+
+    pytest tests/test_fleet_golden.py --update-golden
+
+The qualitative assertion (the AQL-aware placer's p99 request latency
+beats the type-blind bin packers) is unconditional — no tolerance can
+excuse a reversed ordering.
+"""
+
+import pytest
+
+from repro.exec import SweepRunner
+from repro.experiments.fleet import FLEET_PLACERS
+from repro.fleet import STORIES, FleetSimulation, FleetSpec, make_placer
+from repro.sim.units import MS
+from tests.test_golden_shapes import GOLDEN_DIR, _assert_close, _check_or_update
+
+GOLDEN_PATH = GOLDEN_DIR / "fleet_comparison.json"
+TOLERANCE = 0.05
+
+#: 4 hosts x 8 slots = 32 slots; weekday epochs 0-1 target 14 then 24 VMs
+GOLDEN_SPEC = FleetSpec(
+    hosts=4,
+    host_class="medium",
+    vcpu_ratio=2,
+    epochs=2,
+    warmup_ns=40 * MS,
+    epoch_ns=120 * MS,
+    migration_lag_ns=20 * MS,
+    migration_budget=4,
+)
+
+
+def _compute_fleet_comparison() -> dict:
+    """The summary comparison table as nested numbers, per placer."""
+    runner = SweepRunner()
+    shapes: dict[str, dict[str, float]] = {}
+    for placer_name in FLEET_PLACERS:
+        run = FleetSimulation(
+            GOLDEN_SPEC,
+            STORIES["weekday"],
+            make_placer(placer_name),
+            seed=0,
+            runner=runner,
+        ).run()
+        shapes[placer_name] = {
+            "peak_vms": run.peak_vms,
+            "p99_ms": run.p99_ms,
+            "consolidation": run.consolidation,
+            "migrations": run.total_migrations,
+            "units": run.units,
+        }
+    return shapes
+
+
+class TestFleetGolden:
+    @pytest.fixture(scope="class")
+    def computed(self):
+        return _compute_fleet_comparison()
+
+    def test_matches_snapshot(self, computed, update_golden):
+        golden = _check_or_update(
+            GOLDEN_PATH, computed, TOLERANCE, update_golden
+        )
+        _assert_close(golden["values"], computed, golden["tolerance"])
+
+    def test_every_placer_runs_the_same_traffic(self, computed):
+        peaks = {shape["peak_vms"] for shape in computed.values()}
+        assert peaks == {24}, "traffic must be placement-independent"
+
+    def test_aql_aware_wins_on_latency(self, computed):
+        """Type co-location isolates io VMs from quantum-hungry mates."""
+        aql = computed["aql_aware"]["p99_ms"]
+        assert aql < computed["first_fit"]["p99_ms"]
+        assert aql < computed["best_fit"]["p99_ms"]

@@ -1,0 +1,203 @@
+"""Placement policies: bin-packing baselines and the AQL-aware placer.
+
+The Hypothesis block pins the migration safety property the fleet
+engine's bookkeeping depends on: across arbitrary fleet states, a
+rebalance pass never drops, duplicates, or over-packs a VM, and
+respects its budget.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (
+    AqlAware,
+    BestFit,
+    FirstFit,
+    HostState,
+    PlacementError,
+    VMSpec,
+    make_placer,
+)
+
+TYPE_LABELS = ("ConSpin", "IOInt", "LLCF", "LLCO", "LoLCF")
+
+
+def _hosts(*specs):
+    """(slots, vms) pairs -> HostState tuple in id order."""
+    return tuple(
+        HostState(host_id=f"h{i:02d}", slots=slots, vms=tuple(vms))
+        for i, (slots, vms) in enumerate(specs)
+    )
+
+
+class TestHostState:
+    def test_free_slots(self):
+        host = HostState("h00", slots=4, vms=("a", "b"))
+        assert host.free == 2
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            HostState("h00", slots=1, vms=("a", "b"))
+
+
+class TestFirstFit:
+    def test_fills_hosts_in_id_order(self):
+        hosts = _hosts((2, ()), (2, ()))
+        arrivals = [VMSpec(f"vm{i}", "llcf") for i in range(3)]
+        assignment = FirstFit().place(arrivals, hosts, {})
+        assert assignment == {"vm0": "h00", "vm1": "h00", "vm2": "h01"}
+
+    def test_skips_full_hosts(self):
+        hosts = _hosts((1, ("old",)), (2, ()))
+        assignment = FirstFit().place([VMSpec("vm0", "io")], hosts, {})
+        assert assignment == {"vm0": "h01"}
+
+    def test_full_fleet_raises(self):
+        hosts = _hosts((1, ("old",)))
+        with pytest.raises(PlacementError):
+            FirstFit().place([VMSpec("vm0", "io")], hosts, {})
+
+
+class TestBestFit:
+    def test_prefers_tightest_host(self):
+        # h01 has 1 free slot, h00 has 3: best-fit packs the tight one
+        hosts = _hosts((4, ("a",)), (4, ("b", "c", "d")))
+        assignment = BestFit().place([VMSpec("vm0", "llcf")], hosts, {})
+        assert assignment == {"vm0": "h01"}
+
+    def test_tie_breaks_to_host_order(self):
+        hosts = _hosts((2, ("a",)), (2, ("b",)))
+        assignment = BestFit().place([VMSpec("vm0", "llcf")], hosts, {})
+        assert assignment == {"vm0": "h00"}
+
+
+class TestAqlAwarePlace:
+    def test_joins_type_mates(self):
+        # an io arrival should join the host full of IOInt VMs, not
+        # the emptier one full of streamers
+        hosts = _hosts((4, ("io0", "io1")), (4, ("st0",)))
+        types = {"io0": "IOInt", "io1": "IOInt", "st0": "LLCO"}
+        assignment = AqlAware().place([VMSpec("web", "io")], hosts, types)
+        assert assignment == {"web": "h00"}
+
+    def test_seeds_fresh_home_when_no_mates(self):
+        # no host knows this type: take the emptiest host
+        hosts = _hosts((4, ("a", "b", "c")), (4, ("d",)))
+        types = {name: "LLCF" for name in "abcd"}
+        assignment = AqlAware().place([VMSpec("web", "io")], hosts, types)
+        assert assignment == {"web": "h01"}
+
+    def test_respects_capacity(self):
+        hosts = _hosts((1, ("io0",)), (4, ()))
+        types = {"io0": "IOInt"}
+        assignment = AqlAware().place([VMSpec("web", "io")], hosts, types)
+        assert assignment == {"web": "h01"}  # mates host is full
+
+
+class TestAqlAwareRebalance:
+    def test_moves_minority_to_plurality_host(self):
+        hosts = _hosts((4, ("ll0", "ll1", "io0")), (4, ("io1", "io2")))
+        types = {
+            "ll0": "LLCF", "ll1": "LLCF",
+            "io0": "IOInt", "io1": "IOInt", "io2": "IOInt",
+        }
+        moves = AqlAware().rebalance(hosts, types, budget=4)
+        assert [(m.vm, m.src, m.dst) for m in moves] == [
+            ("io0", "h00", "h01")
+        ]
+
+    def test_budget_zero_means_no_moves(self):
+        hosts = _hosts((4, ("ll0", "io0")), (4, ("io1",)))
+        types = {"ll0": "LLCF", "io0": "IOInt", "io1": "IOInt"}
+        assert AqlAware().rebalance(hosts, types, budget=0) == []
+
+    def test_empty_host_is_fallback_home(self):
+        # no host has LLCO plurality, but an empty host exists
+        hosts = _hosts((4, ("io0", "io1", "st0")), (4, ()))
+        types = {"io0": "IOInt", "io1": "IOInt", "st0": "LLCO"}
+        moves = AqlAware().rebalance(hosts, types, budget=4)
+        assert [(m.vm, m.src, m.dst) for m in moves] == [
+            ("st0", "h00", "h01")
+        ]
+
+    def test_pure_hosts_stay_put(self):
+        hosts = _hosts((4, ("a", "b")), (4, ("c", "d")))
+        types = {"a": "LLCF", "b": "LLCF", "c": "IOInt", "d": "IOInt"}
+        assert AqlAware().rebalance(hosts, types, budget=8) == []
+
+
+class TestMakePlacer:
+    def test_known_names(self):
+        for name in ("first_fit", "best_fit", "aql_aware"):
+            assert make_placer(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown placer"):
+            make_placer("round_robin")
+
+
+@st.composite
+def fleet_states(draw):
+    """An arbitrary fleet: hosts with typed residents plus a budget."""
+    n_hosts = draw(st.integers(min_value=2, max_value=6))
+    slots = draw(st.integers(min_value=1, max_value=5))
+    hosts = []
+    types = {}
+    counter = 0
+    for i in range(n_hosts):
+        population = draw(st.integers(min_value=0, max_value=slots))
+        vms = []
+        for _ in range(population):
+            name = f"vm{counter:03d}"
+            counter += 1
+            vms.append(name)
+            types[name] = draw(st.sampled_from(TYPE_LABELS))
+        hosts.append(HostState(f"h{i:02d}", slots=slots, vms=tuple(vms)))
+    budget = draw(st.integers(min_value=0, max_value=8))
+    return tuple(hosts), types, budget
+
+
+class TestMigrationSafety:
+    """Migration never drops, duplicates, or over-packs a VM."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(fleet_states())
+    def test_rebalance_preserves_population(self, state):
+        hosts, types, budget = state
+        moves = AqlAware().rebalance(hosts, types, budget)
+
+        assert len(moves) <= budget
+        occupancy = {host.host_id: list(host.vms) for host in hosts}
+        slots = {host.host_id: host.slots for host in hosts}
+        before = Counter()
+        for host in hosts:
+            before.update(host.vms)
+        assert all(count == 1 for count in before.values())
+
+        moved = set()
+        for move in moves:
+            assert move.src != move.dst
+            assert move.vm not in moved, "a VM migrated twice in one pass"
+            moved.add(move.vm)
+            assert move.vm in occupancy[move.src], "moved a VM it lost"
+            occupancy[move.src].remove(move.vm)
+            occupancy[move.dst].append(move.vm)
+
+        after = Counter()
+        for host_id in sorted(occupancy):
+            assert len(occupancy[host_id]) <= slots[host_id], (
+                f"{host_id} over-packed"
+            )
+            after.update(occupancy[host_id])
+        assert after == before, "migration dropped or duplicated a VM"
+
+    @settings(max_examples=60, deadline=None)
+    @given(fleet_states())
+    def test_rebalance_is_deterministic(self, state):
+        hosts, types, budget = state
+        first = AqlAware().rebalance(hosts, types, budget)
+        second = AqlAware().rebalance(hosts, dict(types), budget)
+        assert first == second

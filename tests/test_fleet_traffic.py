@@ -1,0 +1,124 @@
+"""Diurnal traffic generation: determinism and plan validity."""
+
+import pytest
+
+from repro.fleet import (
+    STORIES,
+    DiurnalStory,
+    TrafficGenerator,
+    VMSpec,
+    event_offset_ns,
+)
+from repro.sim.units import MS
+
+
+def _drive(generator, epochs):
+    """Run the generator open-loop, applying each plan to a population."""
+    alive: dict[str, VMSpec] = {}
+    plans = []
+    for epoch in range(epochs):
+        plan = generator.epoch_plan(epoch, alive)
+        for name in plan.departures:
+            del alive[name]
+        for spec in plan.arrivals:
+            alive[spec.name] = spec
+        for name, mode in plan.phase_changes:
+            alive[name] = VMSpec(name=name, mode=mode)
+        plans.append(plan)
+    return plans, alive
+
+
+class TestDiurnalStory:
+    def test_stock_stories_are_valid(self):
+        assert set(STORIES) == {"weekday", "batchnight"}
+
+    def test_shape_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            DiurnalStory("bad", shape=(1.2,), flavor_mix=(("web", 1.0),))
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError, match="flavour"):
+            DiurnalStory("bad", shape=(0.5,), flavor_mix=(("gpu", 1.0),))
+
+    def test_churn_bounds(self):
+        with pytest.raises(ValueError, match="churn"):
+            DiurnalStory(
+                "bad", shape=(0.5,), flavor_mix=(("web", 1.0),), churn=1.0
+            )
+
+
+class TestDeterminism:
+    def test_same_seed_same_plans(self):
+        story = STORIES["weekday"]
+        first, _ = _drive(TrafficGenerator(story, capacity=24, seed=7), 8)
+        second, _ = _drive(TrafficGenerator(story, capacity=24, seed=7), 8)
+        assert first == second
+
+    def test_different_seed_diverges(self):
+        story = STORIES["weekday"]
+        first, _ = _drive(TrafficGenerator(story, capacity=24, seed=7), 4)
+        second, _ = _drive(TrafficGenerator(story, capacity=24, seed=8), 4)
+        assert first != second
+
+    def test_event_offset_in_span(self):
+        span = 100 * MS
+        offsets = {
+            event_offset_ns(0, epoch, f"vm{i:05d}", span)
+            for epoch in range(3)
+            for i in range(20)
+        }
+        assert all(MS <= off <= span for off in offsets)
+        assert len(offsets) > 1  # actually spread, not constant
+
+
+class TestPlanValidity:
+    def test_population_tracks_curve(self):
+        story = STORIES["weekday"]
+        capacity = 40
+        generator = TrafficGenerator(story, capacity=capacity, seed=3)
+        alive: dict[str, VMSpec] = {}
+        for epoch in range(12):
+            plan = generator.epoch_plan(epoch, alive)
+
+            assert plan.target == generator.target(epoch)
+            assert plan.target <= capacity
+            # departures name distinct alive VMs
+            assert len(set(plan.departures)) == len(plan.departures)
+            assert set(plan.departures) <= set(alive)
+            # arrivals are fresh, unique names with catalog modes
+            arrival_names = [spec.name for spec in plan.arrivals]
+            assert len(set(arrival_names)) == len(arrival_names)
+            assert not set(arrival_names) & set(alive)
+            # phase changes hit survivors and always switch the mode
+            survivors = set(alive) - set(plan.departures)
+            for name, mode in plan.phase_changes:
+                assert name in survivors
+                assert mode != alive[name].mode
+
+            for name in plan.departures:
+                del alive[name]
+            for spec in plan.arrivals:
+                alive[spec.name] = spec
+            for name, mode in plan.phase_changes:
+                alive[name] = VMSpec(name=name, mode=mode)
+            # the plan lands the population exactly on target
+            assert len(alive) == plan.target
+
+    def test_names_never_reused_after_departure(self):
+        story = STORIES["batchnight"]
+        generator = TrafficGenerator(story, capacity=20, seed=11)
+        seen: set[str] = set()
+        alive: dict[str, VMSpec] = {}
+        for epoch in range(10):
+            plan = generator.epoch_plan(epoch, alive)
+            for spec in plan.arrivals:
+                assert spec.name not in seen
+                seen.add(spec.name)
+            for name in plan.departures:
+                del alive[name]
+            for spec in plan.arrivals:
+                alive[spec.name] = spec
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TrafficGenerator(STORIES["weekday"], capacity=0, seed=0)
