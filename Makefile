@@ -3,7 +3,7 @@
 PYTHON ?= python3
 JOBS ?= 4
 
-.PHONY: install test lint bench bench-json bench-fleet-json bench-check fleet fleet-fast figures sweep examples clean clean-cache
+.PHONY: install test lint bench bench-json bench-fleet-json bench-check fleet fleet-fast figures sweep examples resume-demo clean clean-cache
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -54,6 +54,25 @@ figures:
 
 sweep:
 	$(PYTHON) -m repro.experiments all --jobs $(JOBS)
+
+# crash/resume demonstration: SIGKILL a sweep after its 3rd
+# checkpointed cell, then resume the run directory and verify the
+# folded pickle is byte-identical to an uninterrupted run (the same
+# drill CI's engine-smoke job and tests/test_exec_crash_resume.py run)
+resume-demo:
+	rm -rf .demo-runs ref.pickle resumed.pickle
+	PYTHONPATH=src $(PYTHON) -m tests.engine_cells \
+		--run-root .demo-runs/ref --cells 8 --jobs 2 --fold-out ref.pickle
+	-PYTHONPATH=src REPRO_ENGINE_KILL_AFTER=3 $(PYTHON) -m tests.engine_cells \
+		--run-root .demo-runs/crash --cells 8 --jobs 2
+	@echo "--- killed after 3 cells; journal so far:"
+	@wc -l .demo-runs/crash/run-*/journal.jsonl
+	PYTHONPATH=src $(PYTHON) -m tests.engine_cells \
+		--run-root .demo-runs/crash --cells 8 --jobs 2 --fold-out resumed.pickle
+	cmp ref.pickle resumed.pickle
+	PYTHONPATH=src $(PYTHON) -m repro.exec.events .demo-runs/crash/run-*/events.jsonl
+	@echo "resume-demo: resumed fold is byte-identical to the clean run"
+	rm -rf .demo-runs ref.pickle resumed.pickle
 
 examples:
 	$(PYTHON) examples/quickstart.py

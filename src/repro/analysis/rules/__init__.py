@@ -21,6 +21,7 @@ from typing import Iterable, Optional, Sequence
 from repro.analysis.rules.base import Rule
 from repro.analysis.rules.exceptions import SwallowedSimulationErrorRule
 from repro.analysis.rules.ordering import UnorderedIterationRule
+from repro.analysis.rules.procpool import ProcessPoolRule
 from repro.analysis.rules.rng import UnseededRngRule
 from repro.analysis.rules.simtime import SimTimeFloatRule
 from repro.analysis.rules.slots import MissingSlotsRule
@@ -34,6 +35,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     SimTimeFloatRule,
     MissingSlotsRule,
     SwallowedSimulationErrorRule,
+    ProcessPoolRule,
 )
 
 RULE_INDEX: dict[str, type[Rule]] = {cls.rule_id: cls for cls in RULE_CLASSES}

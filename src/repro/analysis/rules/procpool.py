@@ -1,0 +1,103 @@
+"""SIM007 — process pools outside the sanctioned engine entry point.
+
+Every process pool in the tree must be the work-stealing pool in
+``repro.exec.queue``: cells that fan out through the engine get
+content-addressed caching, checkpoint journalling, the typed event
+stream and crash-consistent resume for free.  An ad-hoc
+``multiprocessing`` pool (or a ``ProcessPoolExecutor``) bypasses all
+of it — its results are invisible to ``--resume``, its workers strand
+temp files on Ctrl-C, and its interleavings are pinned by no
+determinism property.  Plan :class:`repro.exec.Cell` lists instead.
+
+Thread pools are *not* flagged: they share the interpreter, cannot
+bypass the cache, and the tree does not use them on result paths.
+
+Allowlist — the one sanctioned entry point:
+
+``repro.exec.queue``
+    The engine's own work-stealing pool.  Everything the rule exists
+    to protect (checkpointing, event narration, teardown on interrupt)
+    is implemented *here*, so this module is definitionally exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.core import Violation
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.core import ModuleContext
+
+#: Dotted names that construct a process pool no matter how imported.
+POOL_CONSTRUCTORS = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+        "multiprocessing.Process",
+    }
+)
+
+_ADVICE = (
+    "bypasses the engine's caching, checkpointing and event stream; "
+    "plan repro.exec Cells and run them through SweepRunner/Engine"
+)
+
+
+def _from_target(node: ast.ImportFrom, alias: ast.alias) -> str:
+    base = node.module or ""
+    return f"{base}.{alias.name}" if base else alias.name
+
+
+class ProcessPoolRule(Rule):
+    rule_id = "SIM007"
+    description = (
+        "process-pool use outside repro.exec.queue; plan cells through "
+        "the sweep engine instead of forking ad-hoc workers"
+    )
+    interests = (ast.Import, ast.ImportFrom, ast.Call)
+    allowlist = ("repro.exec.queue",)
+
+    def visit(self, node: ast.AST, ctx: "ModuleContext") -> Iterable[Violation]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "multiprocessing":
+                    yield self.violation(
+                        ctx, node,
+                        f"import of {alias.name!r} {_ADVICE}",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative: stays inside this package
+                return
+            root = (node.module or "").split(".")[0]
+            if root == "multiprocessing":
+                yield self.violation(
+                    ctx, node,
+                    f"import from {node.module!r} {_ADVICE}",
+                )
+            elif root == "concurrent":
+                for alias in node.names:
+                    target = _from_target(node, alias)
+                    if target in POOL_CONSTRUCTORS or alias.name.startswith(
+                        "ProcessPool"
+                    ):
+                        yield self.violation(
+                            ctx, node,
+                            f"import of {target!r} {_ADVICE}",
+                        )
+        else:
+            assert isinstance(node, ast.Call)
+            resolved = ctx.resolve(node.func)
+            if resolved in POOL_CONSTRUCTORS:
+                yield self.violation(
+                    ctx, node,
+                    f"{resolved}() {_ADVICE}",
+                )
+
+
+__all__ = ["POOL_CONSTRUCTORS", "ProcessPoolRule"]

@@ -17,10 +17,12 @@ therefore outside the deterministic core:
     pytest-benchmark scenarios).  It times the simulator from the
     outside to maintain ``BENCH_sim.json``; the simulated work it
     drives stays on the virtual clock.
-``repro.exec.runner``
-    The sweep engine stamps each cell with its wall duration for
-    progress reporting and cache telemetry.  The duration never feeds
-    back into any result.
+``repro.exec.queue``
+    The engine's work-stealing pool stamps each cell with its wall
+    duration (``timed_call``) for progress reporting, event-stream
+    metadata and cache telemetry.  The duration never feeds back into
+    any result — the event-stream golden test normalises it to zero
+    precisely because it is presentation-only.
 ``repro.experiments.overhead``
     Reproduces the paper's overhead table, whose whole point is
     comparing *real* recognition cost against the oracle — the one
@@ -79,7 +81,7 @@ class WallClockRule(Rule):
     allowlist = (
         "repro.perf",
         "benchmarks",
-        "repro.exec.runner",
+        "repro.exec.queue",
         "repro.experiments.overhead",
         "repro.experiments.__main__",
         "repro.telemetry.exposition",

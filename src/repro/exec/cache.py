@@ -142,6 +142,26 @@ class ResultCache:
         except OSError:
             pass
 
+    def sweep_temps(self) -> int:
+        """Remove stranded atomic-write temp files; returns the count.
+
+        ``put`` publishes entries via rename, so a ``.tmp-*`` file is
+        only ever left behind by a process that died mid-write (SIGKILL,
+        Ctrl-C delivered at exactly the wrong instruction).  Such files
+        are unreachable garbage — no key resolves to them — and the
+        engine sweeps them on run-directory open and on interrupt.
+        """
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.rglob(".tmp-*"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
     def clear(self) -> int:
         """Delete every entry; returns how many files were removed."""
         removed = 0

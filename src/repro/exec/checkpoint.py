@@ -1,0 +1,239 @@
+"""Durable run directories: checkpoint journal + result store + events.
+
+A *run directory* makes a sweep resumable: every completed cell is
+journalled (append-only, fsynced) under its content-addressed cache
+key, and its pickled result lands in a private
+:class:`~repro.exec.cache.ResultCache` inside the run directory.  A
+killed sweep — SIGKILL, OOM, a yanked laptop lid — resumes by
+re-planning the same cells: journalled keys replay from the run
+store, everything else re-executes.
+
+Layout, under ``<root>/<run-id>/``::
+
+    manifest.json    run id, code salt, first plan fingerprint
+    journal.jsonl    one {"kind": "cell", "key": ..., ...} per cell
+    events.jsonl     the engine event stream (appended across resumes)
+    results/         ResultCache keyed by the same cache hashes
+
+Run ids are content-addressed too: ``run-<plan fingerprint>`` of the
+first sweep planned against the directory, so re-running the *same*
+sweep with the same code automatically lands in (and resumes) the same
+run — no wall-clock naming, no id bookkeeping.  ``--resume <run-id>``
+pins an id explicitly and fails loudly if it is missing or was written
+by different code (the salt check), instead of silently recomputing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Optional, Union
+
+from repro.exec.cache import ResultCache
+
+ENV_RUN_DIR = "REPRO_RUN_DIR"
+
+#: hex digits of the plan fingerprint used in derived run ids
+_RUN_ID_DIGITS = 12
+
+
+class RunDirError(RuntimeError):
+    """A run directory cannot be (re)used: missing, or salt mismatch."""
+
+
+def resolve_run_root(
+    root: Union[str, Path, None] = None,
+) -> Optional[Path]:
+    """Explicit argument > ``REPRO_RUN_DIR`` > no checkpointing."""
+    if root is not None:
+        return Path(root)
+    env = os.environ.get(ENV_RUN_DIR, "").strip()
+    return Path(env) if env else None
+
+
+def derive_run_id(plan_fingerprint: str) -> str:
+    return f"run-{plan_fingerprint[:_RUN_ID_DIGITS]}"
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed cells.
+
+    Each :meth:`append` is flushed *and* fsynced before returning —
+    when the engine reports a checkpoint, the record is on disk, so a
+    SIGKILL one instruction later loses nothing.  :meth:`load`
+    tolerates a truncated final line (the half-written record of a
+    crash mid-append) by dropping it.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+
+    def load(self) -> list[dict[str, Any]]:
+        if not self.path.exists():
+            return []
+        records: list[dict[str, Any]] = []
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    break  # torn final append from a crash
+                raise
+        return records
+
+    def append(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.flush()
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+@dataclass
+class RunManifest:
+    """Identity of a run directory: which code, which first plan."""
+
+    run_id: str
+    salt: str
+    plan: str
+
+    def to_json(self) -> dict[str, str]:
+        return {"run_id": self.run_id, "salt": self.salt, "plan": self.plan}
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "RunManifest":
+        return cls(
+            run_id=str(doc["run_id"]),
+            salt=str(doc["salt"]),
+            plan=str(doc["plan"]),
+        )
+
+
+class RunDir:
+    """One resumable run: journal + result store + event log paths."""
+
+    def __init__(self, path: Path, manifest: RunManifest) -> None:
+        self.path = path
+        self.manifest = manifest
+        self.journal = CheckpointJournal(path / "journal.jsonl")
+        self.results = ResultCache(root=path / "results")
+        self.events_path = path / "events.jsonl"
+
+    @property
+    def run_id(self) -> str:
+        return self.manifest.run_id
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        root: Union[str, Path],
+        *,
+        salt: str,
+        plan_fingerprint: str,
+        run_id: Optional[str] = None,
+    ) -> "RunDir":
+        """Create or attach the run directory for one planned sweep.
+
+        Without ``run_id`` the id derives from the plan fingerprint
+        (same sweep + same code → same directory → automatic resume).
+        With ``run_id`` (``--resume``) the directory must already
+        exist.  Either way, a manifest written by a different code
+        salt is an error: its journal keys could never match the
+        re-planned cells, and silently recomputing everything is the
+        failure mode resume exists to prevent.
+        """
+        root = Path(root)
+        explicit = run_id is not None
+        if run_id is None:
+            run_id = derive_run_id(plan_fingerprint)
+        path = root / run_id
+        manifest_path = path / "manifest.json"
+        if manifest_path.exists():
+            manifest = RunManifest.from_json(
+                json.loads(manifest_path.read_text(encoding="utf-8"))
+            )
+            if manifest.salt != salt:
+                raise RunDirError(
+                    f"run {run_id!r} was written by a different code "
+                    "version; its checkpoints cannot be trusted — start "
+                    "a fresh run (or clear the run directory)"
+                )
+        elif explicit:
+            raise RunDirError(
+                f"cannot resume run {run_id!r}: no manifest under {path}"
+            )
+        else:
+            path.mkdir(parents=True, exist_ok=True)
+            manifest = RunManifest(
+                run_id=run_id, salt=salt, plan=plan_fingerprint
+            )
+            tmp = manifest_path.with_suffix(".json.tmp")
+            tmp.write_text(
+                json.dumps(manifest.to_json(), indent=2, sort_keys=True),
+                encoding="utf-8",
+            )
+            os.replace(tmp, manifest_path)
+        run = cls(path, manifest)
+        # a previous crash may have stranded atomic-write temp files in
+        # the result store; they are unreachable garbage, drop them
+        run.results.sweep_temps()
+        return run
+
+    # ------------------------------------------------------------------
+    def completed_keys(self) -> set[str]:
+        """Cache keys of every cell the journal says finished."""
+        return {
+            str(record["key"])
+            for record in self.journal.load()
+            if record.get("kind") == "cell" and record.get("key")
+        }
+
+    def record_cell(
+        self,
+        key: str,
+        *,
+        index: int,
+        label: str,
+        stage: str,
+        seconds: float,
+    ) -> None:
+        """Journal one completed cell (durable before returning)."""
+        self.journal.append({
+            "kind": "cell",
+            "key": key,
+            "index": index,
+            "label": label,
+            "stage": stage,
+            "seconds": round(seconds, 6),
+        })
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+__all__ = [
+    "CheckpointJournal",
+    "ENV_RUN_DIR",
+    "RunDir",
+    "RunDirError",
+    "RunManifest",
+    "derive_run_id",
+    "resolve_run_root",
+]

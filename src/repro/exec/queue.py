@@ -1,0 +1,189 @@
+"""The work-stealing worker pool behind the engine's execute phase.
+
+Earlier revisions fanned cells out through a ``ProcessPoolExecutor``
+whose up-front submission amounted to a static split; fleet and fuzz
+sweeps have wildly uneven cell costs (a consolidation epoch on a
+packed host vs. an idle one), which left cores cold behind the long
+tail.  This pool keeps a single shared ``multiprocessing`` task queue:
+every forked worker pulls its next cell the moment it finishes the
+last one — work-stealing by construction, with no partitioning to get
+wrong.  Results carry their cell index, so the fold order (and
+therefore every downstream byte) is independent of which worker ran
+what and in which interleaving — the Hypothesis property in
+``tests/test_exec_engine.py`` pins exactly that.
+
+This module is the **only sanctioned process-pool entry point** in the
+tree: simlint's SIM007 flags any other ``multiprocessing`` /
+``ProcessPoolExecutor`` use, so ad-hoc pools cannot bypass the
+engine's checkpointing and event stream.
+
+Wall-clock note: per-cell ``perf_counter`` timing here is progress
+metadata only (SIM001 allowlists ``repro.exec.queue``); it never feeds
+a result.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import pickle
+import queue as stdlib_queue
+import time
+from multiprocessing.process import BaseProcess
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
+
+#: one unit of queued work: (cell index, function, kwargs)
+Task = tuple[int, Callable[..., Any], dict[str, Any]]
+
+#: callback fired in the parent as each result arrives (completion
+#: order, not index order): (index, value, seconds)
+ResultCallback = Callable[[int, Any, float], None]
+
+
+class WorkerCrash(RuntimeError):
+    """A pool worker died without delivering its result."""
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def timed_call(
+    fn: Callable[..., Any], kwargs: Mapping[str, Any]
+) -> tuple[Any, float]:
+    """Run one cell on a private copy of its kwargs, timing it.
+
+    The deepcopy mirrors the isolation a forked worker gets for free:
+    a policy object mutated by ``setup()`` never leaks back into the
+    caller's cell, whose pristine state the cache key was computed
+    from.  Module-level so it pickles across the fork.
+    """
+    start = time.perf_counter()
+    value = fn(**copy.deepcopy(dict(kwargs)))
+    return value, time.perf_counter() - start
+
+
+def _worker(
+    task_queue: "multiprocessing.queues.Queue[Optional[Task]]",
+    result_queue: "multiprocessing.queues.Queue[tuple[str, int, Any, float]]",
+) -> None:
+    """Worker loop: steal, execute, report; ``None`` is the stop token."""
+    while True:
+        try:
+            item = task_queue.get()
+        except KeyboardInterrupt:  # Ctrl-C fan-out while idle: die quietly
+            return
+        if item is None:
+            return
+        index, fn, kwargs = item
+        # BaseException on purpose: a cell raising KeyboardInterrupt must
+        # be *reported*, not swallowed — a worker that exits cleanly with
+        # an outstanding cell would leave the parent polling forever.
+        # No simulation runs in this frame beyond the cell itself.
+        try:
+            value, seconds = timed_call(fn, kwargs)
+        except BaseException as exc:  # simlint: disable=SIM006
+            payload: Any = exc
+            try:  # the queue pickles in a feeder thread; probe up front
+                pickle.dumps(exc)
+            # pickling a caught exception cannot raise SimulationError;
+            # any failure must degrade to the repr, never propagate
+            except Exception:  # simlint: disable=SIM006
+                payload = repr(exc)  # unpicklable: degrade to its repr
+            result_queue.put(("error", index, payload, 0.0))
+            if isinstance(exc, KeyboardInterrupt):
+                return  # a real Ctrl-C is process-wide: stop stealing
+            continue
+        result_queue.put(("ok", index, value, seconds))
+
+
+class WorkStealingPool:
+    """Fork ``workers`` processes over one shared task queue."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if not fork_available():
+            raise RuntimeError(
+                "work-stealing pool needs the fork start method"
+            )
+        self.workers = workers
+
+    def iter_results(
+        self, tasks: Sequence[Task]
+    ) -> Iterator[tuple[int, Any, float]]:
+        """Execute every task, yielding results in completion order.
+
+        Tasks are enqueued in the given order (the engine may permute
+        it — results are index-addressed, so any steal interleaving
+        folds identically).  A cell exception or a dead worker tears
+        the pool down and re-raises in the parent; a
+        ``KeyboardInterrupt`` (or an abandoned generator) terminates
+        the workers before propagating, so Ctrl-C never leaves orphan
+        processes behind.
+        """
+        context = multiprocessing.get_context("fork")
+        task_queue: Any = context.Queue()
+        result_queue: Any = context.Queue()
+        for task in tasks:
+            task_queue.put(task)
+        for _ in range(self.workers):
+            task_queue.put(None)  # stop token per worker
+
+        processes: list[BaseProcess] = [
+            context.Process(
+                target=_worker, args=(task_queue, result_queue), daemon=True
+            )
+            for _ in range(min(self.workers, max(1, len(tasks))))
+        ]
+        for process in processes:
+            process.start()
+        outstanding = len(tasks)
+        clean = False
+        try:
+            while outstanding:
+                try:
+                    status, index, value, seconds = result_queue.get(
+                        timeout=0.2
+                    )
+                except stdlib_queue.Empty:
+                    dead = [
+                        p for p in processes
+                        if p.exitcode not in (None, 0)
+                    ]
+                    if dead:
+                        raise WorkerCrash(
+                            f"{len(dead)} worker(s) died with exit codes "
+                            f"{sorted(p.exitcode for p in dead)} while "
+                            f"{outstanding} cell(s) were outstanding"
+                        ) from None
+                    continue
+                outstanding -= 1
+                if status == "error":
+                    if isinstance(value, BaseException):
+                        raise value
+                    raise WorkerCrash(f"cell {index} failed: {value}")
+                yield index, value, seconds
+            clean = True
+        finally:
+            if not clean:
+                for process in processes:
+                    if process.is_alive():
+                        process.terminate()
+            for process in processes:
+                process.join(timeout=2.0)
+
+    def run(self, tasks: Sequence[Task], on_result: ResultCallback) -> None:
+        """Callback flavour of :meth:`iter_results`."""
+        for index, value, seconds in self.iter_results(tasks):
+            on_result(index, value, seconds)
+
+
+__all__ = [
+    "ResultCallback",
+    "Task",
+    "WorkStealingPool",
+    "WorkerCrash",
+    "fork_available",
+    "timed_call",
+]

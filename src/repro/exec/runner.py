@@ -1,12 +1,15 @@
-"""The parallel sweep engine.
+"""The sweep runner facade over the long-lived engine.
 
-:class:`SweepRunner` executes a list of independent
-:class:`~repro.exec.cells.Cell` invocations, optionally fanning them
-out over a ``ProcessPoolExecutor`` and optionally memoising results in
-a :class:`~repro.exec.cache.ResultCache`.  Because every simulation is
-seeded and deterministic (DESIGN.md §5/§7), parallel, serial and
-cache-replayed execution produce identical results — the equivalence
-tests in ``tests/test_exec_equivalence.py`` enforce this.
+:class:`SweepRunner` keeps the API every experiment family programs
+against (``run(cells)`` → results in cell order, ``jobs``/``cache``/
+``progress``/``salt``) while delegating execution to the phased
+:class:`~repro.exec.engine.Engine`: cells fan out through the
+work-stealing queue, completions journal to the run directory when one
+is configured, and the engine's event stream feeds the progress hook
+plus any extra sinks.  Because every simulation is seeded and
+deterministic (DESIGN.md §5/§7), serial, parallel, cache-replayed and
+*resumed* execution produce identical results — the equivalence tests
+in ``tests/test_exec_equivalence.py`` enforce all four legs.
 
 Worker-count resolution: an explicit ``jobs`` argument wins, then the
 ``REPRO_JOBS`` environment variable, then 1 (serial).  ``jobs=1`` and
@@ -17,41 +20,22 @@ and hash seed and cost no re-import time.
 
 from __future__ import annotations
 
-import copy
-import multiprocessing
-import os
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
 
 from repro.exec.cache import ResultCache
 from repro.exec.cells import Cell
-from repro.exec.hashing import code_salt
-from repro.exec.progress import CellReport, ProgressHook
+from repro.exec.engine import ENV_JOBS, ENV_KILL_AFTER, Engine, resolve_jobs
+from repro.exec.events import EventSink
+from repro.exec.progress import ProgressHook
 
-ENV_JOBS = "REPRO_JOBS"
-
-
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Explicit argument > ``REPRO_JOBS`` > serial."""
-    if jobs is None:
-        env = os.environ.get(ENV_JOBS, "").strip()
-        if env:
-            try:
-                jobs = int(env)
-            except ValueError as exc:
-                raise ValueError(
-                    f"{ENV_JOBS} must be an integer, got {env!r}"
-                ) from exc
-    if jobs is None:
-        return 1
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    return jobs
-
-
-def _fork_available() -> bool:
-    return "fork" in multiprocessing.get_all_start_methods()
+__all__ = [
+    "SweepRunner",
+    "aggregate_telemetry",
+    "resolve_jobs",
+    "ENV_JOBS",
+    "ENV_KILL_AFTER",
+]
 
 
 def aggregate_telemetry(results: Sequence[Any]) -> dict[str, float]:
@@ -63,7 +47,8 @@ def aggregate_telemetry(results: Sequence[Any]) -> dict[str, float]:
     are summed per qualified instrument name, ``telemetry_runs`` counts
     the contributing results, and keys come back sorted — the aggregate
     is a pure fold over per-cell values, so it is identical for serial,
-    parallel and cache-replayed sweeps.  Empty when nothing contributed.
+    parallel, cache-replayed and resumed sweeps.  Empty when nothing
+    contributed.
     """
     totals: dict[str, float] = {}
     contributing = 0
@@ -81,17 +66,8 @@ def aggregate_telemetry(results: Sequence[Any]) -> dict[str, float]:
     return aggregate
 
 
-def _timed_call(
-    fn: Callable[..., Any], kwargs: Mapping[str, Any]
-) -> tuple[Any, float]:
-    """Worker entry point (module-level so it pickles across fork)."""
-    start = time.perf_counter()
-    value = fn(**kwargs)
-    return value, time.perf_counter() - start
-
-
 class SweepRunner:
-    """Run independent sweep cells, in parallel and/or from cache."""
+    """Run independent sweep cells: parallel, cached, resumable."""
 
     def __init__(
         self,
@@ -99,140 +75,42 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressHook] = None,
         salt: Optional[str] = None,
+        run_root: Union[str, Path, None] = None,
+        run_id: Optional[str] = None,
+        sinks: Sequence[EventSink] = (),
     ):
-        self.jobs = resolve_jobs(jobs)
-        self.cache = cache
+        self.engine = Engine(
+            jobs=jobs,
+            cache=cache,
+            salt=salt,
+            run_root=run_root,
+            run_id=run_id,
+            sinks=sinks,
+        )
+        #: per-cell progress hook; mutable (the fleet swaps staged
+        #: hooks in and out around its epoch sweeps)
         self.progress = progress
-        self._salt = salt
+
+    # -- the facade surface the experiment families program against ----
+    @property
+    def jobs(self) -> int:
+        return self.engine.jobs
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self.engine.cache
 
     @property
     def salt(self) -> str:
-        if self._salt is None:
-            self._salt = code_salt()
-        return self._salt
+        return self.engine.salt
 
-    # ------------------------------------------------------------------
-    def run(self, cells: Sequence[Cell]) -> list[Any]:
+    def run(self, cells: Sequence[Cell], stage: str = "") -> list[Any]:
         """Execute every cell; results come back in cell order."""
-        cells = list(cells)
-        total = len(cells)
-        results: list[Any] = [None] * total
-        pending: list[tuple[int, Cell, Optional[str]]] = []
-
-        for index, cell in enumerate(cells):
-            key = cell.cache_key(self.salt) if self.cache is not None else None
-            if key is not None:
-                entry = self.cache.get(key)
-                if entry.hit:
-                    results[index] = entry.value
-                    self._report(index, total, cell, "hit", 0.0, key)
-                    continue
-            pending.append((index, cell, key))
-
-        if pending:
-            if self._effective_jobs(len(pending)) > 1:
-                self._run_parallel(pending, results, total)
-            else:
-                self._run_serial(pending, results, total)
-        return results
+        return self.engine.run(cells, stage=stage, progress=self.progress)
 
     def run_one(self, cell: Cell) -> Any:
         return self.run([cell])[0]
 
-    # ------------------------------------------------------------------
-    def _effective_jobs(self, pending: int) -> int:
-        if self.jobs <= 1 or pending <= 1 or not _fork_available():
-            return 1
-        return min(self.jobs, pending)
-
-    def _run_serial(
-        self,
-        pending: Sequence[tuple[int, Cell, Optional[str]]],
-        results: list[Any],
-        total: int,
-    ) -> None:
-        for index, cell, key in pending:
-            # mirror the isolation a worker process gets: the cell runs
-            # on a private copy of its kwargs, so a policy mutated by
-            # setup() never leaks back into the caller's cell (whose
-            # pristine state the cache key was computed from)
-            value, seconds = _timed_call(
-                cell.fn, copy.deepcopy(dict(cell.kwargs))
-            )
-            self._finish(index, cell, key, value, seconds, results, total)
-
-    def _run_parallel(
-        self,
-        pending: Sequence[tuple[int, Cell, Optional[str]]],
-        results: list[Any],
-        total: int,
-    ) -> None:
-        workers = self._effective_jobs(len(pending))
-        context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
-        ) as executor:
-            futures = {
-                executor.submit(_timed_call, cell.fn, dict(cell.kwargs)):
-                    (index, cell, key)
-                for index, cell, key in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in done:
-                    index, cell, key = futures[future]
-                    value, seconds = future.result()
-                    self._finish(
-                        index, cell, key, value, seconds, results, total
-                    )
-
-    def _finish(
-        self,
-        index: int,
-        cell: Cell,
-        key: Optional[str],
-        value: Any,
-        seconds: float,
-        results: list[Any],
-        total: int,
-    ) -> None:
-        if key is not None:
-            assert self.cache is not None
-            self.cache.put(key, value)
-        results[index] = value
-        self._report(index, total, cell, "ran", seconds, key)
-
-    def _report(
-        self,
-        index: int,
-        total: int,
-        cell: Cell,
-        outcome: str,
-        seconds: float,
-        key: Optional[str],
-    ) -> None:
-        if self.progress is None:
-            return
-        self.progress(CellReport(
-            index=index,
-            total=total,
-            label=cell.display,
-            outcome=outcome,
-            seconds=seconds,
-            key=key,
-        ))
-
     def __repr__(self) -> str:
         cached = "on" if self.cache is not None else "off"
         return f"<SweepRunner jobs={self.jobs} cache={cached}>"
-
-
-__all__ = [
-    "SweepRunner",
-    "aggregate_telemetry",
-    "resolve_jobs",
-    "ENV_JOBS",
-]

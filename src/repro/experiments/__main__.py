@@ -9,14 +9,21 @@ Regenerate any table/figure of the paper without the benchmark harness:
 ``--fast`` cuts simulation durations (~4x) for a quick look; the
 default durations match the benchmark suite.
 
-Sweep execution goes through :mod:`repro.exec`: ``--jobs N`` (or the
-``REPRO_JOBS`` environment variable) fans independent cells out over
-worker processes, and results are memoised under ``.repro_cache/`` so
-re-running a sweep replays cached cells instead of re-simulating.
-``--no-cache`` disables the cache, ``--cache-dir`` moves it.  Per-cell
-progress and the cache hit/miss summary go to stderr; stdout carries
-only the experiment tables, so serial, parallel and cached runs print
-byte-identical results.
+Sweep execution goes through the :mod:`repro.exec` engine: ``--jobs
+N`` (or the ``REPRO_JOBS`` environment variable) fans independent
+cells out over work-stealing worker processes, and results are
+memoised under ``.repro_cache/`` so re-running a sweep replays cached
+cells instead of re-simulating.  ``--no-cache`` disables the cache,
+``--cache-dir`` moves it.  ``--run-dir DIR`` (or ``REPRO_RUN_DIR``)
+makes the run *durable*: every completed cell is journalled to a
+content-addressed run directory, so a killed run — Ctrl-C, SIGKILL,
+OOM — resumes with only unfinished cells re-executed (automatically,
+since the run id derives from the planned sweep; ``--resume RUN-ID``
+pins a directory explicitly).  ``--events-out PATH`` additionally
+streams the engine's typed event narration as JSONL.  Per-cell
+progress, the cache hit/miss summary and the engine tallies go to
+stderr; stdout carries only the experiment tables, so serial,
+parallel, cached and resumed runs print byte-identical results.
 """
 
 from __future__ import annotations
@@ -26,7 +33,13 @@ import sys
 import time
 from typing import Callable, Optional
 
-from repro.exec import ProgressPrinter, ResultCache, SweepRunner
+from repro.exec import (
+    JsonlSink,
+    ProgressPrinter,
+    ResultCache,
+    RunDirError,
+    SweepRunner,
+)
 from repro.sim.units import MS, SEC
 
 
@@ -261,7 +274,17 @@ def build_runner(args: argparse.Namespace) -> SweepRunner:
             else ResultCache()
         )
     progress = None if args.quiet else ProgressPrinter()
-    return SweepRunner(jobs=args.jobs, cache=cache, progress=progress)
+    sinks = (
+        [JsonlSink(args.events_out)] if args.events_out is not None else []
+    )
+    return SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        progress=progress,
+        run_root=args.run_dir,
+        run_id=args.resume,
+        sinks=sinks,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -292,6 +315,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-cell progress lines on stderr",
+    )
+    parser.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="journal completed cells under DIR so a killed run can "
+             "resume (default: $REPRO_RUN_DIR, else no checkpointing)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="RUN-ID",
+        help="resume this run id under --run-dir (errors if missing; "
+             "without the flag, identical sweeps resume automatically)",
+    )
+    parser.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="write the engine's typed event stream as JSONL to PATH",
     )
     parser.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -343,17 +380,40 @@ def main(argv: list[str] | None = None) -> int:
             print(experiment(args.fast, runner))
             print(f"[{name} took {time.perf_counter() - start:.1f}s]")
 
-    if args.profile is not None:
-        from repro.perf import capture
+    try:
+        if args.profile is not None:
+            from repro.perf import capture
 
-        with capture() as prof:
+            with capture() as prof:
+                run_experiments()
+            # stderr: stdout stays byte-identical with/without --profile
+            prof.write(args.profile)
+            if args.profile != "-":
+                print(f"[profile] wrote {args.profile}", file=sys.stderr)
+        else:
             run_experiments()
-        # stderr: stdout stays byte-identical with/without --profile
-        prof.write(args.profile)
-        if args.profile != "-":
-            print(f"[profile] wrote {args.profile}", file=sys.stderr)
-    else:
-        run_experiments()
+    except KeyboardInterrupt:
+        # the engine already flushed its journal and swept temp files;
+        # tell the user how to pick the run back up
+        engine = runner.engine
+        if engine.run_dir is not None:
+            print(
+                f"\n[engine] interrupted after {engine.stats['ran']} "
+                f"cell(s); resume with --run-dir {engine.run_root} "
+                f"--resume {engine.run_dir.run_id}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "\n[engine] interrupted (no --run-dir: nothing was "
+                "checkpointed)",
+                file=sys.stderr,
+            )
+        engine.close()
+        return 130
+    except RunDirError as exc:
+        print(f"[engine] {exc}", file=sys.stderr)
+        return 2
     if args.telemetry_out is not None:
         from repro.telemetry import write_jsonl
 
@@ -393,6 +453,18 @@ def main(argv: list[str] | None = None) -> int:
         )
     if runner.cache is not None:
         print(f"[cache] {runner.cache.stats.as_line()}", file=sys.stderr)
+    engine = runner.engine
+    if engine.stats["sweeps"]:
+        run_id = (
+            engine.run_dir.run_id if engine.run_dir is not None else "-"
+        )
+        print(
+            f"[engine] sweeps={engine.stats['sweeps']} "
+            f"ran={engine.stats['ran']} hits={engine.stats['hit']} "
+            f"resumed={engine.stats['resumed']} run={run_id}",
+            file=sys.stderr,
+        )
+    engine.close()
     return 0
 
 

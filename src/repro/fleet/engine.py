@@ -9,17 +9,24 @@ A :class:`FleetSimulation` drives one ``(story, placer)`` pair through
 2. at the barrier, the placer migrates type-minority residents
    (``rebalance``) and assigns arrivals (``place``);
 3. every populated host becomes one
-   :func:`~repro.fleet.model.run_host_epoch` cell, sharded across the
-   :class:`~repro.exec.SweepRunner` process pool — migrants-in and
-   arrivals enter through ``VmBoot`` events (migrants pay the
-   migration lag), departures through ``VmShutdown``;
+   :func:`~repro.fleet.model.run_host_epoch` cell, fanned out through
+   the :class:`~repro.exec.SweepRunner` work-stealing pool — each
+   epoch is one engine sweep, so the bulk-synchronous barrier is
+   exactly an engine phase boundary (plan → probe → execute → fold) —
+   migrants-in and arrivals enter through ``VmBoot`` events (migrants
+   pay the migration lag), departures through ``VmShutdown``;
 4. results are folded into :class:`~repro.fleet.metrics.EpochMetrics`
    and the detected vTRS types feed the next barrier's placement.
 
 Host-epoch seeds derive from ``(fleet seed, story, epoch, host)``, and
 every loop iterates hosts and VM names in sorted order, so the whole
 run is a pure function of ``(spec, story, placer, seed)`` — running
-the cells serially or across workers is byte-identical.
+the cells serially or across workers is byte-identical.  When the
+runner carries a run directory, every host-epoch cell is journalled
+under its content-addressed cache key, so a killed fleet run resumes
+mid-story: completed epochs replay from the journal (the re-planned
+cells hash to the same keys) and the interrupted epoch re-executes
+only its unfinished hosts.
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ from repro.dynamics.events import (
     VmBoot,
     VmShutdown,
 )
-from repro.exec import Cell, StagedProgress, SweepRunner
+from repro.exec import Cell, SweepRunner
 from repro.exec.runner import aggregate_telemetry
 from repro.fleet.catalog import HOST_CATALOG, VMSpec, derive_seed
 from repro.fleet.metrics import EpochMetrics, FleetRun, fold_epoch, fold_run
@@ -191,7 +198,6 @@ class FleetSimulation:
         traffic = TrafficGenerator(
             self.story, capacity=spec.capacity, seed=self.seed
         )
-        staged = StagedProgress(self.runner.progress)
         epochs: list[EpochMetrics] = []
         all_latencies: list[float] = []
         all_results: list[HostEpochResult] = []
@@ -303,12 +309,10 @@ class FleetSimulation:
                 f"{self.story.name}:{self.placer.name} "
                 f"epoch {epoch + 1}/{spec.epochs}"
             )
-            saved_progress = self.runner.progress
-            self.runner.progress = staged.stage(stage)
-            try:
-                results = self.runner.run(cells)
-            finally:
-                self.runner.progress = saved_progress
+            # one engine sweep per epoch: the bulk-synchronous barrier
+            # is an engine phase boundary, and the stage label rides
+            # the event stream into progress lines and event logs
+            results = self.runner.run(cells, stage=stage)
             by_host = dict(zip(cell_hosts, results))
 
             # ---- apply the epoch's churn to the steady state -----------

@@ -46,6 +46,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="apply a named bug injection to every case")
     run.add_argument("--no-shrink", action="store_true")
     run.add_argument("--quiet", action="store_true")
+    # engine mode: parallel, cached, resumable — unsteered generation
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="fan cases out over N engine workers "
+                          "(unsteered generation; default: sequential "
+                          "coverage-steered loop)")
+    run.add_argument("--run-dir", type=Path, default=None, metavar="DIR",
+                     help="with --jobs: journal completed cases under "
+                          "DIR so a killed campaign resumes")
     # gate flags (CI)
     run.add_argument("--min-alg-branches", type=int, default=0,
                      help="fail unless this many Algorithm 1/2 branches "
@@ -71,6 +79,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    runner = None
+    if args.jobs is not None or args.run_dir is not None:
+        from repro.exec import SweepRunner
+
+        runner = SweepRunner(jobs=args.jobs, run_root=args.run_dir)
     campaign = run_campaign(
         args.cases,
         seed=args.seed,
@@ -80,7 +93,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         inject=args.inject,
         shrink_failures=not args.no_shrink,
         log=None if args.quiet else sys.stderr,
+        runner=runner,
     )
+    if runner is not None:
+        runner.engine.close()
     print(campaign.coverage.render())
     failures = campaign.failures
     print(

@@ -1,0 +1,21 @@
+# simlint: module=repro.experiments.fake_fixture
+# simlint-expect:
+"""SIM007 negative fixture: the sanctioned ways to go wide.
+
+Fan-out happens by planning cells through the sweep engine; thread
+pools (same interpreter, cannot bypass the cache) stay legal.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.exec import Cell, SweepRunner
+
+
+def fan_out_through_the_engine(fn, seeds):
+    cells = [Cell(fn, dict(seed=seed)) for seed in seeds]
+    return SweepRunner(jobs=4).run(cells)
+
+
+def overlap_io(fetch, urls):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(fetch, urls))

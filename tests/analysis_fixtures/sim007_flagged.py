@@ -1,0 +1,26 @@
+# simlint: module=repro.experiments.fake_fixture
+# simlint-expect: SIM007:5 SIM007:6 SIM007:7 SIM007:8 SIM007:13 SIM007:18 SIM007:25
+"""SIM007 positive fixture: ad-hoc process pools dodging the engine."""
+
+import multiprocessing
+import multiprocessing.pool as mp_pool
+from multiprocessing import Pool
+from concurrent.futures import ProcessPoolExecutor
+import concurrent.futures
+
+
+def fan_out_with_pool(cells):
+    with Pool(4) as pool:  # the Pool() call is flagged on its own
+        return pool.map(len, cells)
+
+
+def fan_out_with_executor(cells):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(len, cells))
+
+
+def fan_out_with_module_attribute(cells):
+    # no pool-name import to catch here: the *call* resolves through
+    # the plain `import concurrent.futures` and is flagged directly
+    with concurrent.futures.ProcessPoolExecutor() as pool:
+        return list(pool.map(len, cells))

@@ -1,0 +1,14 @@
+# simlint: module=repro.exec.queue
+# simlint-expect:
+"""SIM007 scoping fixture: the engine's own pool is the exemption.
+
+``repro.exec.queue`` *is* the sanctioned process-pool entry point —
+the checkpointing and teardown SIM007 protects live here, so the
+imports the rule bans everywhere else are this module's job.
+"""
+
+import multiprocessing
+
+
+def build_context():
+    return multiprocessing.get_context("fork")

@@ -59,7 +59,9 @@ def test_cli_seeded_violations_exit_nonzero_with_rule_ids_in_json():
     assert document["schema"] == 1
     assert document["exit"] == 1
     fired = set(document["counts"])
-    expected = {"SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"}
+    expected = {
+        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006", "SIM007",
+    }
     assert fired == expected, f"expected all rules to fire, got {fired}"
     # every violation row carries a full location
     for row in document["violations"]:
@@ -83,7 +85,9 @@ def test_cli_unknown_rule_is_a_usage_error():
 def test_cli_list_rules_prints_catalogue():
     result = _run_cli("--list-rules")
     assert result.returncode == 0
-    for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"):
+    for rule_id in (
+        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006", "SIM007",
+    ):
         assert rule_id in result.stdout
 
 

@@ -1,0 +1,179 @@
+"""Crash consistency: SIGKILL a sweep mid-run, resume, lose nothing.
+
+The headline guarantee of the execution engine (DESIGN.md §14): a run
+killed at *any* cell boundary resumes from its checkpoint journal and
+folds to the byte-identical result of an uninterrupted run, with no
+completed cell executed twice.  These tests kill a real process —
+``python -m tests.engine_cells`` with ``REPRO_ENGINE_KILL_AFTER=N``
+SIGKILLs itself right after the Nth checkpoint is durable — at several
+randomized (but seeded) cell boundaries, then resume and verify:
+
+* the folded results pickle is byte-identical to the uninterrupted
+  run's;
+* the journal after the kill holds exactly N cells, and the resumed
+  run's event log reports exactly those N as ``resumed`` — zero
+  re-executions of completed work;
+* the combined event log (kill segment + resume segment) passes the
+  stream contract validator.
+"""
+
+import os
+import pickle
+import random
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exec import read_event_log, validate_events
+from repro.exec.checkpoint import CheckpointJournal
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CELLS = 8
+JOBS = 2
+
+#: randomized kill points, seeded so failures reproduce: at least
+#: three distinct cell boundaries strictly inside the sweep
+KILL_POINTS = sorted(random.Random(20260808).sample(range(1, CELLS), 3))
+
+
+def drive(run_root: Path, fold_out: Path, kill_after=None, jobs=JOBS):
+    """One ``tests.engine_cells`` sweep in a real subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_ENGINE_KILL_AFTER", None)
+    env.pop("REPRO_JOBS", None)
+    if kill_after is not None:
+        env["REPRO_ENGINE_KILL_AFTER"] = str(kill_after)
+    return subprocess.run(
+        [
+            sys.executable, "-m", "tests.engine_cells",
+            "--run-root", str(run_root),
+            "--cells", str(CELLS),
+            "--jobs", str(jobs),
+            "--fold-out", str(fold_out),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def the_run_dir(run_root: Path) -> Path:
+    runs = [p for p in run_root.iterdir() if p.is_dir()]
+    assert len(runs) == 1, f"expected one run dir, found {runs}"
+    return runs[0]
+
+
+def journalled_cells(run_root: Path) -> list[dict]:
+    journal = CheckpointJournal(the_run_dir(run_root) / "journal.jsonl")
+    return [r for r in journal.load() if r.get("kind") == "cell"]
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(tmp_path_factory):
+    """The reference: one clean run's folded pickle bytes."""
+    root = tmp_path_factory.mktemp("clean")
+    fold = root / "fold.pkl"
+    proc = drive(root / "runs", fold, kill_after=None)
+    assert proc.returncode == 0, proc.stderr
+    return fold.read_bytes()
+
+
+@pytest.mark.parametrize("kill_after", KILL_POINTS)
+def test_kill_and_resume_is_byte_identical(
+    tmp_path, uninterrupted, kill_after
+):
+    run_root = tmp_path / "runs"
+    fold = tmp_path / "fold.pkl"
+
+    # ---- the kill: SIGKILL right after checkpoint N is durable -----
+    killed = drive(run_root, fold, kill_after=kill_after)
+    assert killed.returncode == -signal.SIGKILL, (
+        f"expected SIGKILL death, got rc={killed.returncode}\n"
+        f"{killed.stderr}"
+    )
+    assert not fold.exists(), "a killed run must not publish a fold"
+    journal = journalled_cells(run_root)
+    assert len(journal) == kill_after, (
+        "journal must hold exactly the cells checkpointed before the "
+        f"kill: expected {kill_after}, found {len(journal)}"
+    )
+
+    # ---- the resume: same sweep, same run root ---------------------
+    resumed = drive(run_root, fold, kill_after=None)
+    assert resumed.returncode == 0, resumed.stderr
+    assert fold.read_bytes() == uninterrupted, (
+        "resumed fold must be byte-identical to the uninterrupted run"
+    )
+
+    # ---- no completed cell executed twice (via the event log) ------
+    records = read_event_log(the_run_dir(run_root) / "events.jsonl")
+    assert validate_events(records) == []
+    segments_resumed = [
+        r for r in records
+        if r.get("kind") == "cell_finished" and r.get("outcome") == "resumed"
+    ]
+    segments_ran = [
+        r for r in records
+        if r.get("kind") == "cell_finished" and r.get("outcome") == "ran"
+    ]
+    journalled_keys = {record["key"] for record in journal}
+    resumed_keys = {r["key"] for r in segments_resumed}
+    assert resumed_keys == journalled_keys, (
+        "the resume must replay exactly the journalled cells"
+    )
+    # every key executed at most once across the whole history
+    ran_keys = [r["key"] for r in segments_ran]
+    assert len(ran_keys) == len(set(ran_keys)), (
+        f"some cell executed twice: {ran_keys}"
+    )
+    assert len(set(ran_keys) & journalled_keys) == kill_after, (
+        "the kill-run's executed cells are the journalled ones"
+    )
+    # the resume segment executed only what was left
+    assert len(segments_resumed) == kill_after
+    assert len(ran_keys) == CELLS
+
+
+def test_kill_points_cover_distinct_boundaries():
+    """The suite genuinely exercises >= 3 different cell boundaries."""
+    assert len(set(KILL_POINTS)) >= 3
+    assert all(1 <= k < CELLS for k in KILL_POINTS)
+
+
+def test_second_resume_is_pure_replay(tmp_path, uninterrupted):
+    """Resuming a *finished* run re-executes nothing at all."""
+    run_root = tmp_path / "runs"
+    fold = tmp_path / "fold.pkl"
+    first = drive(run_root, fold, kill_after=None)
+    assert first.returncode == 0, first.stderr
+
+    again = drive(run_root, fold, kill_after=None)
+    assert again.returncode == 0, again.stderr
+    assert fold.read_bytes() == uninterrupted
+    records = read_event_log(the_run_dir(run_root) / "events.jsonl")
+    assert validate_events(records) == []
+    outcomes = [
+        r["outcome"] for r in records if r.get("kind") == "cell_finished"
+    ]
+    assert outcomes.count("ran") == CELLS  # the first run only
+    assert outcomes.count("resumed") == CELLS  # the second, entirely
+
+
+def test_killed_run_leaves_no_temp_files(tmp_path):
+    """SIGKILL mid-sweep never strands atomic-write temp files for
+    the resume to trip over (they are swept on run-dir open)."""
+    run_root = tmp_path / "runs"
+    fold = tmp_path / "fold.pkl"
+    killed = drive(run_root, fold, kill_after=2)
+    assert killed.returncode == -signal.SIGKILL
+    resumed = drive(run_root, fold, kill_after=None)
+    assert resumed.returncode == 0, resumed.stderr
+    stranded = list(run_root.rglob(".tmp-*"))
+    assert stranded == []

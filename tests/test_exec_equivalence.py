@@ -2,9 +2,12 @@
 
 DESIGN.md §7 claims seeded simulations are deterministic; this file
 enforces the claim *across process boundaries*: a sweep run with 4
-worker processes is identical to the serial run, and a cache hit
-replays byte-identical results.  These guarantees are what make
-``repro.exec`` safe to use for every paper figure.
+worker processes is identical to the serial run, a cache hit replays
+byte-identical results, and a checkpointed run resumes to the same
+bytes.  These guarantees are what make ``repro.exec`` safe to use for
+every paper figure — and the four-family section at the bottom pins
+them for a representative cell of *every* cell family in the tree
+(figure sweeps, churn stories, fleet host-epochs, fuzz cases).
 """
 
 import pickle
@@ -12,10 +15,16 @@ import pickle
 import pytest
 
 from repro.baselines import AqlPolicy, XenCredit
-from repro.exec import Cell, ResultCache, SweepRunner, resolve_jobs
+from repro.dynamics.events import ChurnTimeline
+from repro.exec import Cell, Engine, ResultCache, SweepRunner, resolve_jobs
+from repro.exec.queue import fork_available
 from repro.exec.runner import aggregate_telemetry
+from repro.experiments.churn import make_stories, run_churn_cell
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import AppPlacement, Scenario
+from repro.fleet.catalog import HOST_CATALOG, VMSpec
+from repro.fleet.model import run_host_epoch
+from repro.fuzz.corpus import run_fuzz_case
 from repro.sim.units import MS
 
 #: a grid of small scenarios — one IO+CPU mix, one spin+CPU mix —
@@ -226,3 +235,138 @@ class TestJobsResolution:
             resolve_jobs(None)
         with pytest.raises(ValueError):
             resolve_jobs(0)
+
+
+# ---------------------------------------------------------------------
+# Four-family equivalence: serial ≡ parallel ≡ cached ≡ resumed
+# ---------------------------------------------------------------------
+
+FAMILIES = ("fig", "churn", "fleet", "fuzz")
+
+
+def family_cells() -> dict[str, Cell]:
+    """One representative, deliberately cheap cell per cell family.
+
+    Every sweep the repo plans — figure grids, churn stories, fleet
+    host-epochs, fuzz corpus cases — reduces to one of these shapes,
+    so pinning the execution-path contract here pins it everywhere.
+    """
+    faults = make_stories(fast=True)[2]  # pcpu offline/online, 2 events
+    return {
+        "fig": Cell(
+            run_scenario,
+            dict(
+                scenario=GRID_SCENARIOS[0], policy=AqlPolicy(),
+                warmup_ns=WARMUP_NS, measure_ns=MEASURE_NS, seed=5,
+            ),
+            label="family:fig",
+        ),
+        "churn": Cell(
+            run_churn_cell,
+            dict(
+                story=faults, policy_name="aql", warmup_ns=200 * MS,
+                measure_ns=faults.timeline.duration_ns + 200 * MS, seed=3,
+            ),
+            label="family:churn",
+        ),
+        "fleet": Cell(
+            run_host_epoch,
+            dict(
+                host_id="h000", host=HOST_CATALOG["small"],
+                residents=(VMSpec("web0", "io"), VMSpec("lock0", "spin")),
+                timeline=ChurnTimeline(()), warmup_ns=WARMUP_NS,
+                measure_ns=MEASURE_NS, seed=7, scheduler="aql", clients=2,
+            ),
+            label="family:fleet",
+        ),
+        "fuzz": Cell(
+            run_fuzz_case,
+            dict(
+                case_seed=11, policies=("aql", "xen"), max_events=2,
+                inject=None,
+            ),
+            label="family:fuzz",
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def family_runs(tmp_path_factory):
+    """Every execution path, once per family.
+
+    The serial leg doubles as the cold cache fill; the resumed leg
+    replays the run-dir journal with no cache attached, proving the
+    checkpoint store alone reconstructs the fold.
+    """
+    runs = {}
+    for name, cell in family_cells().items():
+        base = tmp_path_factory.mktemp(f"family-{name}")
+        legs: dict = {"stats": {}}
+
+        cold = ResultCache(root=base / "cache")
+        [legs["serial"]] = SweepRunner(jobs=1, cache=cold).run([cell])
+        assert (cold.stats.misses, cold.stats.hits) == (1, 0)
+
+        if fork_available():
+            [legs["parallel"]] = SweepRunner(jobs=2).run([cell])
+        else:
+            legs["parallel"] = None
+
+        warm = ResultCache(root=base / "cache")
+        [legs["cached"]] = SweepRunner(jobs=1, cache=warm).run([cell])
+        assert (warm.stats.misses, warm.stats.hits) == (0, 1)
+
+        first = Engine(
+            jobs=1, cache=ResultCache(root=base / "cache"),
+            run_root=base / "runs",
+        )
+        first.run([cell], stage=f"{name}:checkpoint")
+        second = Engine(jobs=1, run_root=base / "runs")
+        [legs["resumed"]] = second.run([cell], stage=f"{name}:resume")
+        legs["stats"]["checkpoint"] = dict(first.stats)
+        legs["stats"]["resume"] = dict(second.stats)
+        first.close()
+        second.close()
+        runs[name] = legs
+    return runs
+
+
+class TestFamilyEquivalence:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_serial_parallel_cached_resumed_byte_identical(
+        self, family, family_runs
+    ):
+        """The headline contract, per family, at pickle-payload level.
+
+        The payload is the unit the cache and the checkpoint journal
+        store, so byte equality here means every execution path would
+        also *store* the identical artefact.
+        """
+        legs = family_runs[family]
+        baseline = pickle.dumps(legs["serial"])
+        assert pickle.dumps(legs["cached"]) == baseline
+        assert pickle.dumps(legs["resumed"]) == baseline
+        if legs["parallel"] is None:
+            pytest.skip("parallel leg needs the fork start method")
+        assert pickle.dumps(legs["parallel"]) == baseline
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_resume_leg_never_re_executes(self, family, family_runs):
+        stats = family_runs[family]["stats"]
+        # checkpoint engine folded the warm cache hit into its journal
+        assert stats["checkpoint"] == {
+            "ran": 0, "hit": 1, "resumed": 0, "sweeps": 1
+        }
+        # the fresh engine replayed the journal — cache detached
+        assert stats["resume"] == {
+            "ran": 0, "hit": 0, "resumed": 1, "sweeps": 1
+        }
+
+    def test_families_cover_distinct_cell_functions(self):
+        cells = family_cells()
+        assert set(cells) == set(FAMILIES)
+        functions = {cell.fn.__module__ for cell in cells.values()}
+        assert functions == {
+            "repro.experiments.runner", "repro.experiments.churn",
+            "repro.fleet.model", "repro.fuzz.corpus",
+        }
