@@ -11,11 +11,14 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# static analysis: simlint (always — stdlib only), then ruff and mypy
-# when installed (CI installs both; config lives in pyproject.toml so
-# local and CI runs agree)
+# static analysis: simlint (always — stdlib only; whole-program passes
+# gated on the committed findings baseline), then ruff and mypy when
+# installed (CI installs both; config lives in pyproject.toml so local
+# and CI runs agree)
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro benchmarks
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --whole-program \
+		--changed-only --baseline simlint-baseline.json \
+		src/repro benchmarks
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests benchmarks; \
 	else echo "lint: ruff not installed, skipping"; fi

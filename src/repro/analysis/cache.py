@@ -1,0 +1,160 @@
+"""``--changed-only``: the content-hash findings cache.
+
+The pre-commit hook and the CI clean-tree gate used to re-parse all
+~140 files on every run.  This cache keys each file by the SHA-256 of
+its *content* plus an engine salt (the analysis package's own sources
+and the selected rule ids), and stores both the per-module findings
+and the whole-program :class:`~repro.analysis.interproc.callgraph.
+ModuleSummary` — so an incremental run re-parses only changed files
+and still rebuilds the full interprocedural index from cached
+summaries.  Editing any rule, or the engine itself, changes the salt
+and invalidates everything; results are therefore byte-identical to a
+cold run by construction.
+
+The cache lives in ``.repro_cache/`` (already git-ignored and already
+on the analyzer's own ``SKIP_DIRS`` list) and degrades to a miss on
+any read problem — a corrupt cache can slow a run down, never change
+its output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Optional
+
+from repro.analysis.core import Violation
+from repro.analysis.interproc.callgraph import ModuleSummary
+
+CACHE_SCHEMA = 1
+
+#: Default cache directory (shared with the sweep engine's result cache,
+#: distinct file).
+DEFAULT_CACHE_DIR = ".repro_cache"
+CACHE_FILENAME = "simlint-cache.json"
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def engine_salt(rule_ids: Iterable[str]) -> str:
+    """Hash of the analysis package sources + active rule ids.
+
+    Any edit to a rule, the engine, or the interprocedural passes
+    produces a new salt, so stale findings can never survive an
+    analyzer change.
+    """
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).resolve().parent
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(path.relative_to(package_dir).as_posix().encode())
+        digest.update(path.read_bytes())
+    digest.update(",".join(sorted(rule_ids)).encode())
+    digest.update(str(CACHE_SCHEMA).encode())
+    return digest.hexdigest()[:24]
+
+
+class FindingsCache:
+    """Per-file findings + summary store, keyed by content hash."""
+
+    def __init__(self, cache_dir: Optional[Path], salt: str) -> None:
+        self.path: Optional[Path] = (
+            None
+            if cache_dir is None
+            else Path(cache_dir) / CACHE_FILENAME
+        )
+        self.salt = salt
+        self._entries: dict[str, dict[str, object]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return  # degrade to cold cache
+        if (
+            document.get("schema") != CACHE_SCHEMA
+            or document.get("salt") != self.salt
+        ):
+            return
+        entries = document.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema": CACHE_SCHEMA,
+            "salt": self.salt,
+            "entries": self._entries,
+        }
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(document), encoding="utf-8")
+        tmp.replace(self.path)
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, path: Path, file_hash: str
+    ) -> Optional[tuple[list[Violation], Optional[ModuleSummary]]]:
+        """Cached (violations, summary) for an unchanged file, else None."""
+        entry = self._entries.get(str(path))
+        if entry is None or entry.get("hash") != file_hash:
+            self.misses += 1
+            return None
+        try:
+            violations = [
+                Violation.from_dict(row)
+                for row in entry["violations"]  # type: ignore[union-attr]
+            ]
+            summary_doc = entry.get("summary")
+            summary = (
+                None
+                if summary_doc is None
+                else ModuleSummary.from_json(
+                    summary_doc  # type: ignore[arg-type]
+                )
+            )
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return violations, summary
+
+    def store(
+        self,
+        path: Path,
+        file_hash: str,
+        violations: list[Violation],
+        summary: Optional[ModuleSummary],
+    ) -> None:
+        self._entries[str(path)] = {
+            "hash": file_hash,
+            "violations": [v.as_dict() for v in violations],
+            "summary": None if summary is None else summary.to_json(),
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Mapping[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+__all__ = [
+    "CACHE_FILENAME",
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "FindingsCache",
+    "content_hash",
+    "engine_salt",
+]

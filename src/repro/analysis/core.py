@@ -71,6 +71,9 @@ class Violation:
     col: int
     message: str
     severity: str = "error"
+    #: Interprocedural findings (SIM008/SIM009) carry the taint path,
+    #: one rendered hop per element; ``--explain`` prints it.
+    trace: tuple[str, ...] = ()
 
     def render(self) -> str:
         return (
@@ -79,7 +82,7 @@ class Violation:
         )
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        row: dict[str, object] = {
             "rule": self.rule_id,
             "path": self.path,
             "line": self.line,
@@ -87,6 +90,23 @@ class Violation:
             "severity": self.severity,
             "message": self.message,
         }
+        if self.trace:
+            row["trace"] = list(self.trace)
+        return row
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, object]) -> "Violation":
+        """Inverse of :meth:`as_dict`; the incremental cache round-trips
+        findings through JSON with this pair."""
+        return cls(
+            rule_id=str(row["rule"]),
+            path=str(row["path"]),
+            line=int(row["line"]),  # type: ignore[call-overload]
+            col=int(row["col"]),  # type: ignore[call-overload]
+            message=str(row["message"]),
+            severity=str(row.get("severity", "error")),
+            trace=tuple(str(hop) for hop in row.get("trace", ())),  # type: ignore[union-attr]
+        )
 
 
 def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
@@ -223,6 +243,29 @@ class ModuleContext:
         return ".".join(reversed(parts))
 
 
+def build_context(
+    source: str, path: Path, module: Optional[str] = None
+) -> tuple[Optional[ModuleContext], Optional[Violation]]:
+    """Parse one file into a :class:`ModuleContext`.
+
+    Returns ``(ctx, None)`` on success and ``(None, sim000)`` when the
+    file does not parse — the SIM000 violation carries the syntax error.
+    """
+    if module is None:
+        module = module_name_for(path, source)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Violation(
+            rule_id="SIM000",
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+        )
+    return ModuleContext(path, module, source, tree), None
+
+
 class Analyzer:
     """Runs a rule battery over files, one AST walk per file."""
 
@@ -238,22 +281,20 @@ class Analyzer:
         self, source: str, path: Path, module: Optional[str] = None
     ) -> list[Violation]:
         """Analyze one file's text; the workhorse behind every entry point."""
-        if module is None:
-            module = module_name_for(path, source)
-        try:
-            tree = ast.parse(source, filename=str(path))
-        except SyntaxError as exc:
-            return [
-                Violation(
-                    rule_id="SIM000",
-                    path=str(path),
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    message=f"syntax error: {exc.msg}",
-                )
-            ]
-        ctx = ModuleContext(path, module, source, tree)
-        active = [rule for rule in self.rules if rule.applies_to(module)]
+        ctx, parse_error = build_context(source, path, module)
+        if ctx is None:
+            assert parse_error is not None
+            return [parse_error]
+        return self.analyze_context(ctx)
+
+    def analyze_context(self, ctx: ModuleContext) -> list[Violation]:
+        """Run the per-module battery over an already-built context.
+
+        Split out from :meth:`analyze_source` so the whole-program layer
+        (:mod:`repro.analysis.interproc`) can reuse one parse for both
+        the per-module rules and its call-graph summary.
+        """
+        active = [rule for rule in self.rules if rule.applies_to(ctx.module)]
         if not active:
             return []
         dispatch: dict[type, list["Rule"]] = {}
@@ -262,7 +303,7 @@ class Analyzer:
             for node_type in rule.interests:
                 dispatch.setdefault(node_type, []).append(rule)
         found: list[Violation] = []
-        for node in ast.walk(tree):
+        for node in ast.walk(ctx.tree):
             for rule in dispatch.get(type(node), ()):
                 found.extend(rule.visit(node, ctx))
         for rule in active:
@@ -306,6 +347,7 @@ __all__ = [
     "ModuleContext",
     "SEVERITIES",
     "Violation",
+    "build_context",
     "format_suppression",
     "is_suppressed",
     "iter_python_files",

@@ -1,0 +1,692 @@
+"""Project-wide call-graph extraction and the cross-module index.
+
+One :class:`ModuleSummary` per file — every function the module
+defines (methods keyed ``Class.method``), every alias-resolved call it
+makes, every determinism *source* it touches, every module-global
+write, and every ``Cell(...)`` construction — all JSON-round-trippable
+so the ``--changed-only`` cache can rebuild the whole-program index
+without re-parsing unchanged files.
+
+Resolution strategy (documented precision envelope):
+
+* bare-name calls resolve to same-module functions, then through the
+  import map (``from x import f as g; g()`` → ``x.f``);
+* attribute calls resolve through the import map when the chain roots
+  at an imported name (``import repro.fleet.model as m; m.f()``);
+* ``self.x()`` / ``cls.x()`` resolve to the enclosing class's method;
+* ``Class(...)`` resolves to ``Class.__init__`` at lookup time;
+* re-exports resolve by alias-hopping at lookup time
+  (``repro.sim.Simulator`` → ``repro.sim.engine.Simulator``);
+* calls on arbitrary objects (``runner.run()``) do **not** resolve —
+  the analysis is deliberately call-graph-underapproximate rather than
+  type-inferring, and the fixtures pin exactly what it sees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping, Optional, Sequence
+
+from repro.analysis.core import ModuleContext
+from repro.analysis.rules.rng import classify_rng_call
+from repro.analysis.rules.wallclock import WALL_CLOCK_NAMES
+
+#: Dotted names under which the sweep engine's cell type is imported.
+CELL_CONSTRUCTOR_NAMES = frozenset({"repro.exec.Cell", "repro.exec.cells.Cell"})
+
+#: Dotted names of the explicit cell-registration marker.
+ENGINE_CELL_MARKER_NAMES = frozenset(
+    {"repro.exec.engine_cell", "repro.exec.cells.engine_cell"}
+)
+
+#: Constructors whose instances must never be captured in a cell's
+#: kwargs: live simulation state (a cell must *build* its machine from
+#: specs, not close over one), OS handles, and thread primitives — all
+#: either unpicklable or pickled-by-value into divergent copies.
+BANNED_CAPTURE_NAMES = frozenset(
+    {
+        "repro.hypervisor.machine.Machine",
+        "repro.hypervisor.Machine",
+        "repro.sim.engine.Simulator",
+        "repro.sim.Simulator",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "open",
+    }
+)
+
+#: Host-environment / ordering sources (SIM008's third family): none of
+#: these is covered by a per-module rule, so direct uses in sim domains
+#: are flagged by the whole-program pass itself.
+ORDERING_SOURCE_NAMES = frozenset(
+    {
+        "os.getenv",
+        "os.getpid",
+        "os.getppid",
+        "os.urandom",
+        "os.listdir",
+        "os.scandir",
+        "os.walk",
+        "os.cpu_count",
+        "glob.glob",
+        "glob.iglob",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+#: Prefix-matched ordering sources (``os.environ.get`` and friends).
+ORDERING_SOURCE_PREFIXES = ("os.environ",)
+
+
+def classify_source(resolved: str, node: ast.Call) -> Optional[tuple[str, str]]:
+    """``(kind, reason)`` when the call is a determinism source, else None."""
+    if resolved in WALL_CLOCK_NAMES:
+        return "wall-clock", f"wall-clock read {resolved}()"
+    rng_reason = classify_rng_call(resolved, node)
+    if rng_reason is not None:
+        return "rng", f"nondeterministic randomness {resolved}()"
+    if resolved in ORDERING_SOURCE_NAMES or resolved.startswith(
+        ORDERING_SOURCE_PREFIXES
+    ):
+        return (
+            "ordering",
+            f"{resolved}() depends on the host environment / iteration order",
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# summary data model (JSON-round-trippable for the incremental cache)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One resolved outgoing call from a function."""
+
+    target: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaintSource:
+    """One determinism source occurrence inside a function."""
+
+    call: str
+    kind: str  # "wall-clock" | "rng" | "ordering"
+    reason: str
+    line: int
+    col: int
+    #: True when the source line carries ``# simlint: disable=SIM008``
+    #: (or ``all``) — a suppressed source never contributes taint.
+    suppressed: bool
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalWrite:
+    """An assignment to a ``global``-declared name inside a function."""
+
+    name: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True, slots=True)
+class CellCapture:
+    """One suspicious binding at a ``Cell(...)`` construction site."""
+
+    kind: str  # "lambda-fn" | "nested-fn" | "capture"
+    detail: str
+    keyword: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True, slots=True)
+class CellSite:
+    """One ``Cell(fn, kwargs)`` literal discovered in a module."""
+
+    line: int
+    col: int
+    #: Resolved dotted name of the submitted function (None when the
+    #: expression is not statically resolvable, e.g. a parameter).
+    target: Optional[str]
+    captures: tuple[CellCapture, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionInfo:
+    """Everything the whole-program passes need about one function."""
+
+    qualname: str
+    line: int
+    col: int
+    is_engine_cell: bool
+    calls: tuple[CallSite, ...]
+    sources: tuple[TaintSource, ...]
+    global_writes: tuple[GlobalWrite, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleSummary:
+    """The per-file slice of the project index."""
+
+    module: str
+    path: str
+    imports: Mapping[str, str]
+    functions: tuple[FunctionInfo, ...]
+    cell_sites: tuple[CellSite, ...]
+    suppressions: Mapping[int, frozenset[str]] = field(default_factory=dict)
+
+    def suppressed_at(self, line: int, rule_id: str) -> bool:
+        active = self.suppressions.get(line)
+        return bool(active) and ("all" in active or rule_id in active)
+
+    # -- JSON (incremental cache) --------------------------------------
+    def to_json(self) -> dict[str, object]:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "imports": dict(self.imports),
+            "functions": [
+                {
+                    "qualname": fn.qualname,
+                    "line": fn.line,
+                    "col": fn.col,
+                    "is_engine_cell": fn.is_engine_cell,
+                    "calls": [[c.target, c.line, c.col] for c in fn.calls],
+                    "sources": [
+                        [s.call, s.kind, s.reason, s.line, s.col, s.suppressed]
+                        for s in fn.sources
+                    ],
+                    "global_writes": [
+                        [w.name, w.line, w.col] for w in fn.global_writes
+                    ],
+                }
+                for fn in self.functions
+            ],
+            "cell_sites": [
+                {
+                    "line": site.line,
+                    "col": site.col,
+                    "target": site.target,
+                    "captures": [
+                        [c.kind, c.detail, c.keyword, c.line, c.col]
+                        for c in site.captures
+                    ],
+                }
+                for site in self.cell_sites
+            ],
+            "suppressions": {
+                str(line): sorted(ids) for line, ids in self.suppressions.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, object]) -> "ModuleSummary":
+        functions = tuple(
+            FunctionInfo(
+                qualname=str(fn["qualname"]),
+                line=int(fn["line"]),
+                col=int(fn["col"]),
+                is_engine_cell=bool(fn["is_engine_cell"]),
+                calls=tuple(
+                    CallSite(str(t), int(ln), int(co)) for t, ln, co in fn["calls"]
+                ),
+                sources=tuple(
+                    TaintSource(
+                        str(call), str(kind), str(reason),
+                        int(ln), int(co), bool(supp),
+                    )
+                    for call, kind, reason, ln, co, supp in fn["sources"]
+                ),
+                global_writes=tuple(
+                    GlobalWrite(str(n), int(ln), int(co))
+                    for n, ln, co in fn["global_writes"]
+                ),
+            )
+            for fn in doc["functions"]  # type: ignore[union-attr]
+        )
+        cell_sites = tuple(
+            CellSite(
+                line=int(site["line"]),
+                col=int(site["col"]),
+                target=None if site["target"] is None else str(site["target"]),
+                captures=tuple(
+                    CellCapture(str(k), str(d), str(kw), int(ln), int(co))
+                    for k, d, kw, ln, co in site["captures"]
+                ),
+            )
+            for site in doc["cell_sites"]  # type: ignore[union-attr]
+        )
+        suppressions = {
+            int(line): frozenset(str(rid) for rid in ids)
+            for line, ids in doc["suppressions"].items()  # type: ignore[union-attr]
+        }
+        return cls(
+            module=str(doc["module"]),
+            path=str(doc["path"]),
+            imports={
+                str(k): str(v)
+                for k, v in doc["imports"].items()  # type: ignore[union-attr]
+            },
+            functions=functions,
+            cell_sites=cell_sites,
+            suppressions=suppressions,
+        )
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+def _shallow_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s body without descending into nested def/class.
+
+    Lambda bodies *are* descended into: they execute in the enclosing
+    function's dynamic extent often enough (sort keys, callbacks) that
+    attributing their sources to the enclosing function is the
+    conservative choice.
+    """
+    for child in ast.iter_child_nodes(node):
+        yield child
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield from _shallow_walk(child)
+
+
+def _collect_defs(
+    tree: ast.Module,
+) -> list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function in the module with its dotted qualname."""
+    out: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+
+    def descend(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                out.append((qual, child))
+                descend(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                descend(child, f"{prefix}{child.name}.")
+            else:
+                descend(child, prefix)
+
+    descend(tree, "")
+    return out
+
+
+def _enclosing_class(qualname: str) -> Optional[str]:
+    """``A.B.method`` → ``A.B`` when the qualname has a parent path."""
+    if "." not in qualname:
+        return None
+    return qualname.rsplit(".", 1)[0]
+
+
+class _FunctionExtractor:
+    """Extracts one FunctionInfo from a function's shallow body."""
+
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        qualname: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        module_defs: Mapping[str, list[str]],
+        class_methods: Mapping[str, set[str]],
+    ) -> None:
+        self.ctx = ctx
+        self.qualname = qualname
+        self.node = node
+        self.module_defs = module_defs  # bare name → qualnames in module
+        self.class_methods = class_methods  # class path → method names
+
+    # -- resolution ----------------------------------------------------
+    def resolve_call_target(self, func: ast.expr) -> Optional[str]:
+        module = self.ctx.module
+        if isinstance(func, ast.Name):
+            name = func.id
+            quals = self.module_defs.get(name, [])
+            if quals:
+                # prefer a module-level def, else the unique candidate
+                if name in quals:
+                    return f"{module}.{name}"
+                if len(quals) == 1:
+                    return f"{module}.{quals[0]}"
+            if name in self.ctx.imports:
+                return self.ctx.imports[name]
+            return None
+        if isinstance(func, ast.Attribute):
+            # self.x() / cls.x() → method on the enclosing class
+            root = func.value
+            if isinstance(root, ast.Name) and root.id in ("self", "cls"):
+                cls_path = _enclosing_class(self.qualname)
+                if cls_path is not None and func.attr in self.class_methods.get(
+                    cls_path, set()
+                ):
+                    return f"{module}.{cls_path}.{func.attr}"
+                return None
+            return self.ctx.resolve(func)
+        return None
+
+    # -- extraction ----------------------------------------------------
+    def extract(self) -> tuple[FunctionInfo, list[CellSite]]:
+        calls: list[CallSite] = []
+        sources: list[TaintSource] = []
+        writes: list[GlobalWrite] = []
+        cells: list[CellSite] = []
+        global_names: set[str] = set()
+        local_ctors: dict[str, str] = {}  # local var → resolved ctor name
+
+        body_nodes = list(_shallow_walk(self.node))
+        for sub in body_nodes:
+            if isinstance(sub, ast.Global):
+                global_names.update(sub.names)
+
+        for sub in body_nodes:
+            if isinstance(sub, ast.Assign):
+                if (
+                    len(sub.targets) == 1
+                    and isinstance(sub.targets[0], ast.Name)
+                    and isinstance(sub.value, ast.Call)
+                ):
+                    ctor = self.ctx.resolve(sub.value.func)
+                    if ctor is not None:
+                        local_ctors[sub.targets[0].id] = ctor
+                for target in sub.targets:
+                    if isinstance(target, ast.Name) and target.id in global_names:
+                        writes.append(
+                            GlobalWrite(target.id, sub.lineno, sub.col_offset)
+                        )
+            elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                if isinstance(sub, ast.AnnAssign) and sub.value is None:
+                    continue
+                target = sub.target
+                if isinstance(target, ast.Name) and target.id in global_names:
+                    writes.append(
+                        GlobalWrite(target.id, sub.lineno, sub.col_offset)
+                    )
+            elif isinstance(sub, ast.Call):
+                resolved = self.ctx.resolve(sub.func)
+                if resolved is not None and resolved in CELL_CONSTRUCTOR_NAMES:
+                    cells.append(self._cell_site(sub, local_ctors))
+                    continue
+                if resolved is not None:
+                    source = classify_source(resolved, sub)
+                    if source is not None:
+                        kind, reason = source
+                        sources.append(
+                            TaintSource(
+                                call=resolved,
+                                kind=kind,
+                                reason=reason,
+                                line=sub.lineno,
+                                col=sub.col_offset,
+                                suppressed=self._source_suppressed(sub.lineno),
+                            )
+                        )
+                        continue
+                target_name = self.resolve_call_target(sub.func)
+                if target_name is not None:
+                    calls.append(
+                        CallSite(target_name, sub.lineno, sub.col_offset)
+                    )
+
+        info = FunctionInfo(
+            qualname=self.qualname,
+            line=self.node.lineno,
+            col=self.node.col_offset,
+            is_engine_cell=self._is_engine_cell(),
+            calls=tuple(calls),
+            sources=tuple(sources),
+            global_writes=tuple(writes),
+        )
+        return info, cells
+
+    def _source_suppressed(self, line: int) -> bool:
+        active = self.ctx.suppressions.get(line)
+        return bool(active) and ("all" in active or "SIM008" in active)
+
+    def _is_engine_cell(self) -> bool:
+        for decorator in self.node.decorator_list:
+            expr = decorator.func if isinstance(decorator, ast.Call) else decorator
+            resolved = self.ctx.resolve(expr)
+            if resolved in ENGINE_CELL_MARKER_NAMES:
+                return True
+        return False
+
+    # -- Cell(...) sites -----------------------------------------------
+    def _cell_site(
+        self, node: ast.Call, local_ctors: Mapping[str, str]
+    ) -> CellSite:
+        captures: list[CellCapture] = []
+        fn_expr: Optional[ast.expr] = node.args[0] if node.args else None
+        kwargs_expr: Optional[ast.expr] = node.args[1] if len(node.args) > 1 else None
+        for kw in node.keywords:
+            if kw.arg == "fn":
+                fn_expr = kw.value
+            elif kw.arg == "kwargs":
+                kwargs_expr = kw.value
+
+        target: Optional[str] = None
+        if isinstance(fn_expr, ast.Lambda):
+            captures.append(
+                CellCapture(
+                    "lambda-fn", "lambda", "fn",
+                    fn_expr.lineno, fn_expr.col_offset,
+                )
+            )
+        elif isinstance(fn_expr, ast.Name):
+            quals = self.module_defs.get(fn_expr.id, [])
+            nested = f"{self.qualname}.{fn_expr.id}"
+            if nested in quals:
+                captures.append(
+                    CellCapture(
+                        "nested-fn", fn_expr.id, "fn",
+                        fn_expr.lineno, fn_expr.col_offset,
+                    )
+                )
+            else:
+                target = self.resolve_call_target(fn_expr)
+        elif isinstance(fn_expr, ast.Attribute):
+            target = self.ctx.resolve(fn_expr)
+
+        for keyword, value in self._cell_kwargs(kwargs_expr):
+            if isinstance(value, ast.Lambda):
+                captures.append(
+                    CellCapture(
+                        "capture", "lambda", keyword,
+                        value.lineno, value.col_offset,
+                    )
+                )
+            elif isinstance(value, ast.Call):
+                ctor = self.ctx.resolve(value.func)
+                if ctor in BANNED_CAPTURE_NAMES:
+                    captures.append(
+                        CellCapture(
+                            "capture", ctor, keyword,
+                            value.lineno, value.col_offset,
+                        )
+                    )
+            elif isinstance(value, ast.Name):
+                ctor_name = local_ctors.get(value.id)
+                if ctor_name in BANNED_CAPTURE_NAMES:
+                    assert ctor_name is not None
+                    captures.append(
+                        CellCapture(
+                            "capture", ctor_name, keyword,
+                            value.lineno, value.col_offset,
+                        )
+                    )
+
+        return CellSite(
+            line=node.lineno,
+            col=node.col_offset,
+            target=target,
+            captures=tuple(captures),
+        )
+
+    @staticmethod
+    def _cell_kwargs(
+        kwargs_expr: Optional[ast.expr],
+    ) -> list[tuple[str, ast.expr]]:
+        pairs: list[tuple[str, ast.expr]] = []
+        if isinstance(kwargs_expr, ast.Call):
+            func = kwargs_expr.func
+            if isinstance(func, ast.Name) and func.id == "dict":
+                pairs.extend(
+                    (kw.arg, kw.value)
+                    for kw in kwargs_expr.keywords
+                    if kw.arg is not None
+                )
+        elif isinstance(kwargs_expr, ast.Dict):
+            for key, value in zip(kwargs_expr.keys, kwargs_expr.values):
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    pairs.append((key.value, value))
+        return pairs
+
+
+def summarize_module(ctx: ModuleContext) -> ModuleSummary:
+    """Build the whole-program summary for one parsed module."""
+    defs = _collect_defs(ctx.tree)
+    module_defs: dict[str, list[str]] = {}
+    class_methods: dict[str, set[str]] = {}
+    for qualname, _node in defs:
+        bare = qualname.rsplit(".", 1)[-1]
+        module_defs.setdefault(bare, []).append(qualname)
+        parent = _enclosing_class(qualname)
+        if parent is not None:
+            class_methods.setdefault(parent, set()).add(bare)
+
+    functions: list[FunctionInfo] = []
+    cell_sites: list[CellSite] = []
+    for qualname, node in defs:
+        extractor = _FunctionExtractor(
+            ctx, qualname, node, module_defs, class_methods
+        )
+        info, cells = extractor.extract()
+        functions.append(info)
+        cell_sites.extend(cells)
+
+    return ModuleSummary(
+        module=ctx.module,
+        path=str(ctx.path),
+        imports=dict(ctx.imports),
+        functions=tuple(functions),
+        cell_sites=tuple(cell_sites),
+        suppressions=dict(ctx.suppressions),
+    )
+
+
+# ----------------------------------------------------------------------
+# the cross-module index
+# ----------------------------------------------------------------------
+#: (owning summary, function) pair — the unit the passes traverse.
+FunctionEntry = tuple[ModuleSummary, FunctionInfo]
+
+#: Alias-hop budget when resolving re-export chains.
+_MAX_ALIAS_HOPS = 8
+
+
+class ProjectIndex:
+    """Module summaries stitched into a resolvable whole-program view."""
+
+    def __init__(self, summaries: Sequence[ModuleSummary]) -> None:
+        self.summaries: tuple[ModuleSummary, ...] = tuple(summaries)
+        #: module name → summaries (fixtures may impersonate the same
+        #: module from several files; all candidates are kept).
+        self.modules: dict[str, list[ModuleSummary]] = {}
+        #: fully-qualified function ref → entries.
+        self.functions: dict[str, list[FunctionEntry]] = {}
+        for summary in self.summaries:
+            self.modules.setdefault(summary.module, []).append(summary)
+            for fn in summary.functions:
+                ref = f"{summary.module}.{fn.qualname}"
+                self.functions.setdefault(ref, []).append((summary, fn))
+
+    # ------------------------------------------------------------------
+    def iter_functions(self) -> Iterator[tuple[str, FunctionEntry]]:
+        for ref in sorted(self.functions):
+            for entry in self.functions[ref]:
+                yield ref, entry
+
+    def function_ref(self, summary: ModuleSummary, fn: FunctionInfo) -> str:
+        return f"{summary.module}.{fn.qualname}"
+
+    # ------------------------------------------------------------------
+    def resolve_callable(self, target: str) -> tuple[str, list[FunctionEntry]]:
+        """Resolve a dotted call target to known functions.
+
+        Returns ``(canonical_ref, entries)``; entries is empty when the
+        target leaves the analyzed program.  Handles class instantiation
+        (``X`` → ``X.__init__``) and re-export alias hops.
+        """
+        seen: set[str] = set()
+        current = target
+        for _hop in range(_MAX_ALIAS_HOPS):
+            if current in self.functions:
+                return current, self.functions[current]
+            init_ref = f"{current}.__init__"
+            if init_ref in self.functions:
+                return init_ref, self.functions[init_ref]
+            hopped = self._alias_hop(current)
+            if hopped is None or hopped in seen:
+                return current, []
+            seen.add(hopped)
+            current = hopped
+        return current, []
+
+    def _alias_hop(self, target: str) -> Optional[str]:
+        """Rewrite ``module.name.rest`` through ``module``'s import map."""
+        parts = target.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            candidates = self.modules.get(module)
+            if not candidates:
+                continue
+            head = parts[cut]
+            rest = parts[cut + 1:]
+            for summary in candidates:
+                alias = summary.imports.get(head)
+                if alias is not None and alias != target:
+                    return ".".join([alias, *rest]) if rest else alias
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    def relative_path(self, summary: ModuleSummary) -> str:
+        """Repo-relative posix path for reporting, best effort."""
+        path = Path(summary.path)
+        try:
+            return path.relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+__all__ = [
+    "BANNED_CAPTURE_NAMES",
+    "CELL_CONSTRUCTOR_NAMES",
+    "CallSite",
+    "CellCapture",
+    "CellSite",
+    "ENGINE_CELL_MARKER_NAMES",
+    "FunctionEntry",
+    "FunctionInfo",
+    "GlobalWrite",
+    "ModuleSummary",
+    "ORDERING_SOURCE_NAMES",
+    "ORDERING_SOURCE_PREFIXES",
+    "ProjectIndex",
+    "TaintSource",
+    "classify_source",
+    "summarize_module",
+]

@@ -1,0 +1,177 @@
+"""SIM009 — engine-cell purity proofs.
+
+``repro.exec``'s crash-resume guarantee (PR 8) rests on every cell
+being a *pure, picklable, deterministic* function of its kwargs: a
+resumed run re-executes only unfinished cells and must fold to the
+byte-identical result, and the content-addressed cache replays any
+cell from disk.  Those are dynamic guarantees built on a static
+assumption — this pass checks the assumption.
+
+Cell discovery:
+
+* every ``Cell(fn, kwargs)`` literal whose constructor resolves to
+  ``repro.exec.cells.Cell`` (any import alias), and
+* every function carrying the explicit ``@engine_cell`` registration
+  marker (``repro.exec.cells.engine_cell``) — the anchor for cells
+  submitted through indirection the resolver cannot follow.
+
+Proof obligations per cell function, over its transitive call closure:
+
+1. **taint-free** — reuses SIM008's fixpoint: a cell that can reach a
+   wall-clock/RNG/ordering source is not replayable (flagged at the
+   cell function's definition, witness path attached);
+2. **no module-global mutation** — a ``global`` write makes cell
+   results order- and placement-dependent across workers (flagged at
+   the write);
+3. **no unpicklable captures** — a kwarg bound to live simulation
+   state (``Machine``/``Simulator``), a lambda, or a nested function
+   either fails to pickle or forks divergent state into workers
+   (flagged at the ``Cell(...)`` construction site).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Violation
+from repro.analysis.interproc.callgraph import FunctionEntry, ProjectIndex
+from repro.analysis.interproc.taint import TaintAnalysis, render_trace
+
+RULE_ID = "SIM009"
+
+
+def _discover_cells(index: ProjectIndex) -> dict[str, list[FunctionEntry]]:
+    """Cell-function ref → entries, from literals and markers."""
+    cells: dict[str, list[FunctionEntry]] = {}
+    for summary in index.summaries:
+        for site in summary.cell_sites:
+            if site.target is None:
+                continue
+            ref, entries = index.resolve_callable(site.target)
+            if entries:
+                cells.setdefault(ref, entries)
+    for ref, (summary, fn) in index.iter_functions():
+        if fn.is_engine_cell and ref not in cells:
+            cells[ref] = [(summary, fn)]
+    return cells
+
+
+def _closure(index: ProjectIndex, root: str) -> list[str]:
+    """Refs reachable from ``root`` (inclusive), deterministic order."""
+    seen: set[str] = {root}
+    order: list[str] = [root]
+    frontier: list[str] = [root]
+    while frontier:
+        nxt: list[str] = []
+        for ref in frontier:
+            _, entries = index.resolve_callable(ref)
+            for _summary, fn in entries:
+                for call in fn.calls:
+                    callee_ref, callee_entries = index.resolve_callable(
+                        call.target
+                    )
+                    if callee_entries and callee_ref not in seen:
+                        seen.add(callee_ref)
+                        order.append(callee_ref)
+                        nxt.append(callee_ref)
+        frontier = nxt
+    return order
+
+
+def purity_violations(
+    index: ProjectIndex, taint: TaintAnalysis
+) -> list[Violation]:
+    found: list[Violation] = []
+    cells = _discover_cells(index)
+
+    # obligation 1 + 2: closure checks, anchored once per offending site
+    flagged_writes: set[tuple[str, int, int]] = set()
+    for ref in sorted(cells):
+        entries = cells[ref] or index.resolve_callable(ref)[1]
+        if not entries:
+            continue
+        summary, fn = entries[0]
+        info = taint.taint_of(ref)
+        if info is not None and not summary.suppressed_at(fn.line, RULE_ID):
+            found.append(
+                Violation(
+                    rule_id=RULE_ID,
+                    path=summary.path,
+                    line=fn.line,
+                    col=fn.col,
+                    message=(
+                        f"engine cell {ref} is not deterministic: it "
+                        f"reaches {info.describe()}; cells must be pure "
+                        "functions of their kwargs to be cacheable and "
+                        "crash-resumable"
+                    ),
+                    trace=render_trace(index, info.chain, info.source),
+                )
+            )
+        for closure_ref in _closure(index, ref):
+            _, closure_entries = index.resolve_callable(closure_ref)
+            for member_summary, member in closure_entries:
+                for write in member.global_writes:
+                    key = (member_summary.path, write.line, write.col)
+                    if key in flagged_writes:
+                        continue
+                    if member_summary.suppressed_at(write.line, RULE_ID):
+                        continue
+                    flagged_writes.add(key)
+                    found.append(
+                        Violation(
+                            rule_id=RULE_ID,
+                            path=member_summary.path,
+                            line=write.line,
+                            col=write.col,
+                            message=(
+                                f"module-global write to {write.name!r} in "
+                                f"{closure_ref}, reachable from engine cell "
+                                f"{ref}; cell results must not depend on "
+                                "execution order or worker placement"
+                            ),
+                        )
+                    )
+
+    # obligation 3: construction-site captures
+    for summary in index.summaries:
+        for site in summary.cell_sites:
+            if summary.suppressed_at(site.line, RULE_ID):
+                continue
+            for capture in site.captures:
+                found.append(
+                    Violation(
+                        rule_id=RULE_ID,
+                        path=summary.path,
+                        line=site.line,
+                        col=site.col,
+                        message=_capture_message(capture.kind, capture.detail,
+                                                 capture.keyword),
+                    )
+                )
+    found.sort(key=lambda v: (v.path, v.line, v.col))
+    return found
+
+
+def _capture_message(kind: str, detail: str, keyword: str) -> str:
+    if kind == "lambda-fn":
+        return (
+            "cell function is a lambda; cells must be module-level "
+            "functions so they pickle across the worker fork"
+        )
+    if kind == "nested-fn":
+        return (
+            f"cell function {detail!r} is defined inside another function; "
+            "cells must be module-level so they pickle across the worker "
+            "fork"
+        )
+    if detail == "lambda":
+        return (
+            f"cell kwarg {keyword!r} is a lambda; cell arguments must "
+            "pickle and hash stably for the content-addressed cache"
+        )
+    return (
+        f"cell kwarg {keyword!r} captures a live {detail} instance; pass "
+        "picklable specs and rebuild the object inside the cell"
+    )
+
+
+__all__ = ["RULE_ID", "purity_violations"]

@@ -1,0 +1,205 @@
+"""SIM008 — interprocedural determinism taint propagation.
+
+The lattice is deliberately binary: a function is *tainted* when it can
+reach a determinism source (wall-clock read, nondeterministic RNG,
+host-ordering primitive) through any chain of statically-resolved
+calls, and *clean* otherwise.  Propagation is a breadth-first fixpoint
+over the reversed call graph, seeded at every unsuppressed source, so
+each tainted function records a **shortest witness path** down to a
+concrete primitive — that path is what the violation message summarises
+and ``--explain SIM008`` prints edge-by-edge.
+
+Flagging policy:
+
+* Sinks are functions defined in the sim domains
+  (:data:`~repro.analysis.rules.base.SIM_DOMAINS`); SIM001's module
+  allowlist is *lifted to the sink* — an allowlisted module (e.g.
+  ``repro.perf``) may read the clock, but it still seeds taint into
+  any sim-domain caller.
+* A call site is flagged when its resolved callee is tainted.  Direct
+  wall-clock / RNG sources are *not* re-flagged — those are SIM001 and
+  SIM002 findings and stay per-module.  Direct *ordering* sources
+  (``os.environ`` and friends) are flagged here, because no per-module
+  rule covers them.
+* ``# simlint: disable=SIM008`` on a **source** line kills the taint at
+  the root (the suppressed source contributes nothing anywhere — the
+  Hypothesis property in ``tests/test_analysis_interproc.py`` pins
+  this); on a **call site** line it silences that one finding only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.core import Violation
+from repro.analysis.rules.base import SIM_DOMAINS, module_in
+from repro.analysis.rules.wallclock import WallClockRule
+from repro.analysis.interproc.callgraph import ProjectIndex, TaintSource
+
+RULE_ID = "SIM008"
+
+#: Sink exemptions: modules that measure wall time on purpose.  Shared
+#: with SIM001 so the two layers cannot disagree about who is exempt.
+SINK_ALLOWLIST: tuple[str, ...] = WallClockRule.allowlist
+
+
+@dataclass(frozen=True, slots=True)
+class TaintInfo:
+    """Why a function is tainted: the primitive plus the witness chain."""
+
+    source: TaintSource
+    #: Module where the primitive source lives.
+    source_module: str
+    #: Function refs from this function (exclusive) down to the function
+    #: containing the primitive (inclusive), shortest-path order.
+    chain: tuple[str, ...]
+
+    def describe(self) -> str:
+        hops = " -> ".join((*self.chain, f"{self.source.call}()"))
+        return f"{self.source.reason} [path: {hops}]"
+
+
+class TaintAnalysis:
+    """Fixpoint taint over a :class:`ProjectIndex`."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        #: function ref → taint witness (absent = proven-clean under the
+        #: resolution envelope).
+        self.tainted: dict[str, TaintInfo] = {}
+        self._propagate()
+
+    # ------------------------------------------------------------------
+    def _propagate(self) -> None:
+        # reverse edges: callee ref → caller refs (deterministic order)
+        callers: dict[str, list[str]] = {}
+        for ref, (summary, fn) in self.index.iter_functions():
+            for call in fn.calls:
+                callee_ref, entries = self.index.resolve_callable(call.target)
+                if entries and callee_ref != ref:
+                    callers.setdefault(callee_ref, []).append(ref)
+
+        queue: deque[str] = deque()
+        # seed: functions containing an unsuppressed source
+        for ref, (summary, fn) in self.index.iter_functions():
+            if ref in self.tainted:
+                continue
+            source = next((s for s in fn.sources if not s.suppressed), None)
+            if source is not None:
+                self.tainted[ref] = TaintInfo(
+                    source=source, source_module=summary.module, chain=(ref,)
+                )
+                queue.append(ref)
+
+        while queue:
+            callee_ref = queue.popleft()
+            info = self.tainted[callee_ref]
+            for caller_ref in callers.get(callee_ref, ()):  # BFS = shortest
+                if caller_ref in self.tainted:
+                    continue
+                self.tainted[caller_ref] = TaintInfo(
+                    source=info.source,
+                    source_module=info.source_module,
+                    chain=(caller_ref, *info.chain),
+                )
+                queue.append(caller_ref)
+
+    # ------------------------------------------------------------------
+    def taint_of(self, ref: str) -> Optional[TaintInfo]:
+        return self.tainted.get(ref)
+
+    def callee_taint(self, target: str) -> Optional[tuple[str, TaintInfo]]:
+        """Taint of a call target, resolving aliases; None when clean."""
+        callee_ref, entries = self.index.resolve_callable(target)
+        if not entries:
+            return None
+        info = self.tainted.get(callee_ref)
+        if info is None:
+            return None
+        return callee_ref, info
+
+
+def _is_sink(module: str) -> bool:
+    return module_in(module, SIM_DOMAINS) and not module_in(
+        module, SINK_ALLOWLIST
+    )
+
+
+def render_trace(
+    index: ProjectIndex, chain: tuple[str, ...], source: TaintSource
+) -> tuple[str, ...]:
+    """One rendered hop per line for ``--explain`` / SARIF."""
+    hops: list[str] = []
+    for ref in chain:
+        _, entries = index.resolve_callable(ref)
+        if entries:
+            summary, fn = entries[0]
+            hops.append(f"{ref} ({summary.path}:{fn.line})")
+        else:
+            hops.append(ref)
+    hops.append(f"{source.call}() at line {source.line} [{source.kind}]")
+    return tuple(hops)
+
+
+def taint_violations(
+    index: ProjectIndex, taint: TaintAnalysis
+) -> list[Violation]:
+    """SIM008 findings: sim-domain functions that can reach a source."""
+    found: list[Violation] = []
+    for ref, (summary, fn) in index.iter_functions():
+        if not _is_sink(summary.module):
+            continue
+        # direct ordering sources (no per-module rule covers these)
+        for source in fn.sources:
+            if source.kind != "ordering" or source.suppressed:
+                continue
+            found.append(
+                Violation(
+                    rule_id=RULE_ID,
+                    path=summary.path,
+                    line=source.line,
+                    col=source.col,
+                    message=(
+                        f"{source.reason}; sim-domain code must be a pure "
+                        "function of the seed"
+                    ),
+                    trace=render_trace(index, (ref,), source),
+                )
+            )
+        # calls into tainted callees, wherever the source lives
+        for call in fn.calls:
+            if summary.suppressed_at(call.line, RULE_ID):
+                continue
+            hit = taint.callee_taint(call.target)
+            if hit is None:
+                continue
+            callee_ref, info = hit
+            found.append(
+                Violation(
+                    rule_id=RULE_ID,
+                    path=summary.path,
+                    line=call.line,
+                    col=call.col,
+                    message=(
+                        f"call to {callee_ref} reaches {info.describe()}; "
+                        "sim-domain code must be a pure function of the seed"
+                    ),
+                    trace=render_trace(
+                        index, (ref, *info.chain), info.source
+                    ),
+                )
+            )
+    found.sort(key=lambda v: (v.path, v.line, v.col))
+    return found
+
+
+__all__ = [
+    "RULE_ID",
+    "render_trace",
+    "SINK_ALLOWLIST",
+    "TaintAnalysis",
+    "TaintInfo",
+    "taint_violations",
+]

@@ -20,6 +20,11 @@ from typing import Iterable, Optional, Sequence
 
 from repro.analysis.rules.base import Rule
 from repro.analysis.rules.exceptions import SwallowedSimulationErrorRule
+from repro.analysis.rules.interproc import (
+    DeterminismTaintRule,
+    EngineCellPurityRule,
+    WholeProgramRule,
+)
 from repro.analysis.rules.ordering import UnorderedIterationRule
 from repro.analysis.rules.procpool import ProcessPoolRule
 from repro.analysis.rules.rng import UnseededRngRule
@@ -27,7 +32,10 @@ from repro.analysis.rules.simtime import SimTimeFloatRule
 from repro.analysis.rules.slots import MissingSlotsRule
 from repro.analysis.rules.wallclock import WallClockRule
 
-#: Every registered rule, in rule-id order.
+#: Every registered rule, in rule-id order.  SIM008/SIM009 are
+#: whole-program descriptors (see ``rules/interproc.py``): listed,
+#: selectable and suppressible like any rule, but their analysis runs
+#: in ``repro.analysis.interproc`` under ``--whole-program``.
 RULE_CLASSES: tuple[type[Rule], ...] = (
     WallClockRule,
     UnseededRngRule,
@@ -36,9 +44,16 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     MissingSlotsRule,
     SwallowedSimulationErrorRule,
     ProcessPoolRule,
+    DeterminismTaintRule,
+    EngineCellPurityRule,
 )
 
 RULE_INDEX: dict[str, type[Rule]] = {cls.rule_id: cls for cls in RULE_CLASSES}
+
+#: Rule ids whose findings only the whole-program pass can produce.
+WHOLE_PROGRAM_RULE_IDS: frozenset[str] = frozenset(
+    cls.rule_id for cls in RULE_CLASSES if issubclass(cls, WholeProgramRule)
+)
 
 
 def default_rules() -> list[Rule]:
@@ -82,6 +97,8 @@ __all__ = [
     "RULE_CLASSES",
     "RULE_INDEX",
     "Rule",
+    "WHOLE_PROGRAM_RULE_IDS",
+    "WholeProgramRule",
     "default_rules",
     "describe_rules",
     "get_rules",

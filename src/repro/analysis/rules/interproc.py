@@ -1,0 +1,71 @@
+"""SIM008 / SIM009 — the whole-program rules.
+
+Unlike SIM001–SIM007 these are not per-module AST visitors: they need
+the project-wide call graph that :mod:`repro.analysis.interproc` builds
+from every analyzed file at once, so the classes here are *descriptors*
+— they carry the rule id, severity, description and scope tables that
+``--list-rules``, ``--rule`` selection, the JSON/SARIF reports and the
+suppression machinery all key on, while the actual analysis lives in
+``interproc/taint.py`` and ``interproc/purity.py``.  Running them
+requires ``--whole-program`` (selecting one with ``--rule`` enables it
+implicitly); under the plain per-module engine they match no AST nodes
+and stay silent.
+
+SIM008 — **interprocedural determinism taint.**  Wall-clock reads,
+unseeded RNG and ordering sources (``os.environ``, pids, directory
+listings) seed taint wherever they occur — including modules SIM001
+exempts, because the allowlist is *lifted to the sink*: ``repro.perf``
+may read the clock, but a sim-domain function calling a ``repro.perf``
+helper two modules away is exactly the laundering the per-module rule
+cannot see.
+
+SIM009 — **engine-cell purity proofs.**  Every function submitted to
+``repro.exec`` (``Cell(...)`` literals and ``@engine_cell``-marked
+functions) must have a transitive closure free of taint, module-global
+mutation and unpicklable captures — the static contract behind the
+engine's crash-resume guarantee that re-executing a cell is harmless.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import SIM_DOMAINS, Rule
+from repro.analysis.rules.wallclock import WallClockRule
+
+
+class WholeProgramRule(Rule):
+    """Marker base: analysis happens in ``repro.analysis.interproc``."""
+
+    #: Distinguishes descriptor rules from per-module visitors; the CLI
+    #: auto-enables ``--whole-program`` when one is selected explicitly.
+    whole_program: bool = True
+
+
+class DeterminismTaintRule(WholeProgramRule):
+    rule_id = "SIM008"
+    description = (
+        "interprocedural determinism taint: sim-domain code reaches a "
+        "wall-clock/RNG/ordering source through helper calls "
+        "(whole-program; SIM001's allowlist applies to the sink, not "
+        "the source)"
+    )
+    #: Sinks audited: the deterministic core.  The allowlist re-uses
+    #: SIM001's — those modules measure wall time *on purpose* and are
+    #: legitimate sinks, but still seed taint into their callers.
+    domains = SIM_DOMAINS
+    allowlist = WallClockRule.allowlist
+
+
+class EngineCellPurityRule(WholeProgramRule):
+    rule_id = "SIM009"
+    description = (
+        "engine-cell purity: a function submitted to repro.exec "
+        "(Cell(...) / @engine_cell) must be taint-free, mutate no "
+        "module globals, and capture nothing unpicklable (whole-program)"
+    )
+    # Cells may be defined anywhere (experiments, fuzz, fleet,
+    # third-party policy modules), so the sink scope is every module.
+    domains = ()
+    allowlist = ()
+
+
+__all__ = ["DeterminismTaintRule", "EngineCellPurityRule", "WholeProgramRule"]

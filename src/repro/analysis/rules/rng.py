@@ -2,17 +2,27 @@
 
 All stochastic behaviour must flow through the per-component seeded
 streams of :class:`repro.sim.rng.RngFactory` (or at minimum an
-explicitly seeded ``numpy.random.default_rng(seed)``): the stdlib
-``random`` module and the legacy ``numpy.random.*`` functions share
-hidden global state, so two components drawing from them entangle
-their streams and any reordering — a new event, a parallel worker —
-silently changes every number downstream.
+explicitly seeded ``numpy.random.default_rng(seed)`` /
+``random.Random(seed)``): the stdlib ``random`` module's free functions
+and the legacy ``numpy.random.*`` functions share hidden global state,
+so two components drawing from them entangle their streams and any
+reordering — a new event, a parallel worker — silently changes every
+number downstream.  Instance constructors are judged by their seed
+argument: ``random.Random(seed)`` and ``default_rng(seed)`` are
+deterministic and pass, while the zero-argument forms are
+entropy-seeded and flagged (``random.SystemRandom`` is OS entropy by
+construction and always flagged).
+
+:func:`classify_rng_call` is the single classifier both this rule and
+the interprocedural taint pass (:mod:`repro.analysis.interproc.taint`)
+share, so "what counts as nondeterministic randomness" cannot drift
+between the per-module and whole-program layers.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.analysis.core import Violation
 from repro.analysis.rules.base import Rule
@@ -37,10 +47,48 @@ SEEDED_CONSTRUCTORS = frozenset(
 )
 
 
+def classify_rng_call(resolved: str, node: ast.Call) -> Optional[str]:
+    """Reason string when the call is nondeterministic randomness, else None.
+
+    ``resolved`` is the alias-resolved dotted name of ``node.func``.
+    """
+    if resolved == "random.SystemRandom":
+        return (
+            "random.SystemRandom() draws OS entropy and can never be "
+            "seeded; derive a stream from RngFactory (repro.sim.rng)"
+        )
+    if resolved == "random.Random":
+        if not node.args and not node.keywords:
+            return (
+                "random.Random() without a seed argument is entropy-seeded "
+                "and unreproducible; pass a derived seed"
+            )
+        return None  # random.Random(seed) is an explicitly seeded instance
+    if resolved == "random" or resolved.startswith("random."):
+        return (
+            f"{resolved}() draws from the stdlib's hidden global RNG; "
+            "derive a stream from RngFactory (repro.sim.rng) instead"
+        )
+    if resolved.startswith("numpy.random."):
+        tail = resolved.rsplit(".", 1)[-1]
+        if tail not in SEEDED_CONSTRUCTORS:
+            return (
+                f"{resolved}() uses numpy's legacy global RNG; construct "
+                "a seeded Generator (RngFactory.stream / default_rng(seed))"
+            )
+        if tail == "default_rng" and not node.args and not node.keywords:
+            return (
+                "default_rng() without a seed is entropy-seeded and "
+                "unreproducible; pass the experiment seed"
+            )
+    return None
+
+
 class UnseededRngRule(Rule):
     rule_id = "SIM002"
     description = (
-        "global-state randomness (random.* / legacy numpy.random.*); "
+        "global-state or entropy-seeded randomness (random.* draws, "
+        "unseeded Random()/default_rng(), legacy numpy.random.*); "
         "use the seeded sim.rng streams"
     )
     interests = (ast.Call,)
@@ -50,30 +98,9 @@ class UnseededRngRule(Rule):
         resolved = ctx.resolve(node.func)
         if resolved is None:
             return
-        if resolved == "random" or resolved.startswith("random."):
-            yield self.violation(
-                ctx,
-                node,
-                f"{resolved}() draws from the stdlib's hidden global RNG; "
-                "derive a stream from RngFactory (repro.sim.rng) instead",
-            )
-            return
-        if resolved.startswith("numpy.random."):
-            tail = resolved.rsplit(".", 1)[-1]
-            if tail not in SEEDED_CONSTRUCTORS:
-                yield self.violation(
-                    ctx,
-                    node,
-                    f"{resolved}() uses numpy's legacy global RNG; construct "
-                    "a seeded Generator (RngFactory.stream / default_rng(seed))",
-                )
-            elif tail == "default_rng" and not node.args and not node.keywords:
-                yield self.violation(
-                    ctx,
-                    node,
-                    "default_rng() without a seed is entropy-seeded and "
-                    "unreproducible; pass the experiment seed",
-                )
+        reason = classify_rng_call(resolved, node)
+        if reason is not None:
+            yield self.violation(ctx, node, reason)
 
 
-__all__ = ["SEEDED_CONSTRUCTORS", "UnseededRngRule"]
+__all__ = ["SEEDED_CONSTRUCTORS", "UnseededRngRule", "classify_rng_call"]

@@ -28,7 +28,7 @@ Guarantees (enforced by ``tests/test_exec_equivalence.py`` and
 """
 
 from repro.exec.cache import CacheEntry, CacheStats, ResultCache
-from repro.exec.cells import Cell, execute_cell
+from repro.exec.cells import Cell, engine_cell, execute_cell
 from repro.exec.checkpoint import (
     ENV_RUN_DIR,
     CheckpointJournal,
@@ -104,6 +104,7 @@ __all__ = [
     "canonical",
     "code_salt",
     "derive_run_id",
+    "engine_cell",
     "execute_cell",
     "fingerprint",
     "read_event_log",

@@ -12,9 +12,27 @@ of cells handed to :class:`repro.exec.runner.SweepRunner`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, TypeVar
 
 from repro.exec.hashing import fingerprint
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def engine_cell(fn: F) -> F:
+    """Mark ``fn`` as a function the engine executes as a cell.
+
+    Identity decorator — no wrapper, so picklability and the
+    ``__module__.__qualname__`` cache identity are untouched.  The
+    marker serves the static analyzer: simlint's whole-program pass
+    (SIM009, ``repro.analysis.interproc``) proves every marked function
+    pure even when the ``Cell(...)`` construction happens through
+    indirection its resolver cannot follow.  Decorate any function
+    submitted to :class:`~repro.exec.runner.SweepRunner`, the fuzzer
+    or the fleet engine outside a literal ``Cell(fn, ...)`` call.
+    """
+    fn.__engine_cell__ = True  # type: ignore[attr-defined]
+    return fn
 
 
 @dataclass(frozen=True)
@@ -44,4 +62,4 @@ def execute_cell(fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> Any:
     return fn(**kwargs)
 
 
-__all__ = ["Cell", "execute_cell"]
+__all__ = ["Cell", "engine_cell", "execute_cell"]

@@ -49,7 +49,10 @@ def resolve_run_root(
     """Explicit argument > ``REPRO_RUN_DIR`` > no checkpointing."""
     if root is not None:
         return Path(root)
-    env = os.environ.get(ENV_RUN_DIR, "").strip()
+    # Where checkpoints land is operational plumbing: it decides whether
+    # results are journalled, never what they are (pinned by
+    # tests/test_exec_crash_resume.py's resumed ≡ uninterrupted fold).
+    env = os.environ.get(ENV_RUN_DIR, "").strip()  # simlint: disable=SIM008
     return Path(env) if env else None
 
 

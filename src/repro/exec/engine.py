@@ -80,7 +80,10 @@ ENV_KILL_AFTER = "REPRO_ENGINE_KILL_AFTER"
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Explicit argument > ``REPRO_JOBS`` > serial."""
     if jobs is None:
-        env = os.environ.get(ENV_JOBS, "").strip()
+        # Worker-count selection: jobs=N ≡ jobs=1 is the engine's core
+        # pinned guarantee (test_exec_equivalence), so parallelism is a
+        # throughput knob with no reach into results.
+        env = os.environ.get(ENV_JOBS, "").strip()  # simlint: disable=SIM008
         if env:
             try:
                 jobs = int(env)
@@ -98,7 +101,10 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 def _resolve_kill_after(kill_after: Optional[int]) -> Optional[int]:
     if kill_after is not None:
         return kill_after
-    env = os.environ.get(ENV_KILL_AFTER, "").strip()
+    # Crash-injection knob for the resume tests: it kills the process
+    # mid-run, it cannot change what a completed run computes (the
+    # resumed fold is pinned byte-identical by test_exec_crash_resume).
+    env = os.environ.get(ENV_KILL_AFTER, "").strip()  # simlint: disable=SIM008
     if not env:
         return None
     try:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines import AqlPolicy, PolicyContext, XenCredit
 from repro.dynamics import ChurnEngine, ChurnTimeline, SwitchableWorkload
+from repro.exec import engine_cell
 from repro.fleet.catalog import VMSpec
 from repro.hypervisor.hostspec import HostSpec
 from repro.metrics.stats import StatsCollector
@@ -52,6 +53,7 @@ class HostEpochResult:
     telemetry_summary: dict[str, float] = field(default_factory=dict)
 
 
+@engine_cell
 def run_host_epoch(
     host_id: str,
     host: HostSpec,

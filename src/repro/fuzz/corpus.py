@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.exec import Cell, SweepRunner
+from repro.exec import Cell, SweepRunner, engine_cell
 from repro.fuzz.coverage import CoverageMap, outcome_keys
 from repro.fuzz.generator import generate_scenario
 from repro.fuzz.invariants import Violation, check_invariants
@@ -91,6 +91,7 @@ class FuzzCaseSummary:
         return bool(self.violations)
 
 
+@engine_cell
 def run_fuzz_case(
     case_seed: int,
     policies: Sequence[str] = POLICY_NAMES,

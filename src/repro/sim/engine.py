@@ -119,7 +119,10 @@ class Simulator:
 
     def __init__(self, kernel: Optional[str] = None) -> None:
         if kernel is None:
-            kernel = os.environ.get("REPRO_SIM_KERNEL", "wheel")
+            # Kernel selection flips between two result-equivalent event
+            # queues (pinned by tests/test_engine_equivalence.py); the
+            # env knob changes performance, never simulated behaviour.
+            kernel = os.environ.get("REPRO_SIM_KERNEL", "wheel")  # simlint: disable=SIM008
         if kernel not in _KERNELS:
             raise ValueError(
                 f"unknown simulator kernel {kernel!r} (expected one of {_KERNELS})"

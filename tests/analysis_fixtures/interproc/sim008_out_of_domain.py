@@ -1,0 +1,13 @@
+# simlint: module=repro.experiments.fake_out_of_domain
+# simlint-expect:
+"""SIM008 out-of-domain fixture: orchestration may consult the clock.
+
+``repro.experiments`` is not a sim domain, so it is not a SIM008 sink:
+calling a tainted helper from the orchestration layer is legitimate
+(budgets, progress reporting) and produces no finding.
+"""
+from repro.perf.fake_helpers import now_ms
+
+
+def wall_time_budget() -> float:
+    return now_ms()

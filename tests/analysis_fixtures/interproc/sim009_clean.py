@@ -1,0 +1,23 @@
+# simlint: module=repro.experiments.fake_family_clean
+# simlint-expect:
+"""SIM009 negative fixture: pure, picklable, spec-driven cells.
+
+``measure`` is a module-level pure function of its kwargs; the sweep
+builds cells from plain data only.  The ``@engine_cell`` marker adds
+it to discovery and the proof finds nothing.
+"""
+from repro.exec import Cell, engine_cell
+
+
+@engine_cell
+def measure(seed: int, steps: int) -> int:
+    total = 0
+    for step in range(steps):
+        total += (seed * step) % 97
+    return total
+
+
+def build_cells() -> list:
+    return [
+        Cell(measure, kwargs={"seed": seed, "steps": 32}) for seed in range(4)
+    ]

@@ -1,0 +1,44 @@
+# simlint: module=repro.experiments.fake_family
+# simlint-expect: SIM009:18 SIM009:24 SIM009:33 SIM009:42 SIM009:43
+"""SIM009 positive fixture: impure cells of every stripe.
+
+A tainted cell (reaches ``os.getpid``), a cell mutating a module
+global, a kwarg capturing a live ``Machine``, a lambda cell, and an
+``@engine_cell``-marked tainted function discovered without any
+``Cell(...)`` literal naming it.
+"""
+import os
+
+from repro.exec import Cell, engine_cell
+from repro.hypervisor.machine import Machine
+
+_CALLS = 0
+
+
+def _tainted_cell(seed: int) -> int:
+    return seed ^ os.getpid()
+
+
+def _counting_cell(value: int) -> int:
+    global _CALLS
+    _CALLS += 1
+    return value
+
+
+def _honest_cell(value: int) -> int:
+    return value * 3
+
+
+@engine_cell
+def _marked_cell(seed: int) -> int:
+    return seed ^ os.getpid()
+
+
+def build_cells() -> list:
+    machine = Machine(telemetry=None)
+    return [
+        Cell(_tainted_cell, kwargs={"seed": 7}),
+        Cell(_counting_cell, kwargs={"value": 1}),
+        Cell(_honest_cell, kwargs={"value": machine}),
+        Cell(lambda value: value, kwargs={"value": 2}),
+    ]

@@ -1,0 +1,12 @@
+# simlint: module=repro.experiments.fake_grid
+# simlint-expect:
+"""SIM009 out-of-domain fixture: a foreign ``Cell`` is not the engine's.
+
+Cell discovery keys on the *resolved* constructor name — a grid tile
+type that happens to be called ``Cell`` is ignored, lambdas and all.
+"""
+from fakegrid.tiles import Cell
+
+
+def build_tiles() -> list:
+    return [Cell(lambda value: value, kwargs={"value": 1})]

@@ -1,5 +1,5 @@
 # simlint: module=repro.dynamics.fake_fixture
-# simlint-expect: SIM002:10 SIM002:14 SIM002:18 SIM002:22
+# simlint-expect: SIM002:10 SIM002:14 SIM002:18 SIM002:22 SIM002:26 SIM002:30
 """SIM002 positive fixture: global-state and unseeded randomness."""
 import random
 
@@ -20,6 +20,14 @@ def legacy_draw() -> float:
 
 def entropy_seeded():
     return np.random.default_rng()
+
+
+def entropy_seeded_instance():
+    return random.Random()
+
+
+def os_entropy():
+    return random.SystemRandom()
 
 
 def justified() -> float:

@@ -1,0 +1,181 @@
+"""Whole-program pass contract.
+
+Three layers: the fixture battery under ``analysis_fixtures/interproc``
+(exact per-file findings, including the laundering case the per-module
+rules cannot see), a Hypothesis property pinning that a suppressed
+source never contributes taint at any chain depth, and unit checks for
+the witness traces and the baseline ratchet.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import Analyzer, Violation, WholeProgramAnalyzer
+from repro.analysis.interproc.baseline import (
+    apply_baseline,
+    finding_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+
+INTERPROC_DIR = Path(__file__).parent / "analysis_fixtures" / "interproc"
+_EXPECT_RE = re.compile(r"#\s*simlint-expect:\s*(.*)$")
+
+
+def _expected_findings(path: Path) -> list[tuple[str, int]]:
+    for line in path.read_text().splitlines()[:10]:
+        match = _EXPECT_RE.search(line)
+        if match:
+            return sorted(
+                (token.split(":")[0], int(token.split(":")[1]))
+                for token in match.group(1).split()
+            )
+    raise AssertionError(f"{path.name} has no '# simlint-expect:' directive")
+
+
+@pytest.fixture(scope="module")
+def interproc_violations() -> list[Violation]:
+    return WholeProgramAnalyzer().analyze_paths([INTERPROC_DIR])
+
+
+# ----------------------------------------------------------------------
+# fixture battery
+# ----------------------------------------------------------------------
+def test_interproc_fixture_findings_match(interproc_violations):
+    found: dict[str, list[tuple[str, int]]] = {
+        path.name: [] for path in INTERPROC_DIR.glob("*.py")
+    }
+    for violation in interproc_violations:
+        found[Path(violation.path).name].append(
+            (violation.rule_id, violation.line)
+        )
+    for path in sorted(INTERPROC_DIR.glob("*.py")):
+        assert sorted(found[path.name]) == _expected_findings(path), path.name
+
+
+def test_laundering_is_invisible_to_the_per_module_battery():
+    """The acceptance case: SIM001 misses what SIM008 catches.
+
+    ``sim008_flagged.py`` never touches ``time`` itself and the helper
+    module is allowlisted, so the per-module battery finds nothing in
+    either file — the whole-program pass (previous test) finds two.
+    """
+    analyzer = Analyzer()
+    for name in ("sim008_flagged.py", "sim008_helpers.py"):
+        assert analyzer.analyze_file(INTERPROC_DIR / name) == []
+
+
+def test_live_machine_capture_is_flagged(interproc_violations):
+    assert any(
+        v.rule_id == "SIM009" and "Machine instance" in v.message
+        for v in interproc_violations
+    )
+
+
+def test_sim008_findings_carry_witness_traces(interproc_violations):
+    sim008 = [v for v in interproc_violations if v.rule_id == "SIM008"]
+    assert sim008
+    for violation in sim008:
+        assert violation.trace, violation.message
+        # the last hop names the concrete primitive
+        assert "()" in violation.trace[-1]
+
+
+# ----------------------------------------------------------------------
+# the suppression property
+# ----------------------------------------------------------------------
+_SOURCES = {
+    "wall-clock": ("import time", "time.time()"),
+    "rng": ("import random", "random.random()"),
+    "ordering": ("import os", "os.getenv('FAKE')"),
+}
+
+
+@given(
+    depth=st.integers(min_value=0, max_value=3),
+    kind=st.sampled_from(sorted(_SOURCES)),
+    suppress=st.booleans(),
+)
+def test_suppressed_source_never_contributes_taint(
+    depth: int, kind: str, suppress: bool
+):
+    """``# simlint: disable`` on the source line kills taint at the root:
+    no chain of helpers, of any depth, re-surfaces it at a sink."""
+    imports, call = _SOURCES[kind]
+    comment = "  # simlint: disable=all" if suppress else ""
+    helper_lines = [imports, "def f0():", f"    return {call}{comment}"]
+    for i in range(1, depth + 1):
+        helper_lines.extend([f"def f{i}():", f"    return f{i - 1}()"])
+    sink_source = (
+        f"from repro.perf.fake_chain import f{depth}\n"
+        "def consume():\n"
+        f"    return f{depth}()\n"
+    )
+    violations = WholeProgramAnalyzer().analyze_sources(
+        [
+            (
+                Path("helper.py"),
+                "\n".join(helper_lines) + "\n",
+                "repro.perf.fake_chain",
+            ),
+            (Path("sink.py"), sink_source, "repro.sim.fake_sink"),
+        ]
+    )
+    sim008 = [(v.path, v.line) for v in violations if v.rule_id == "SIM008"]
+    if suppress:
+        assert sim008 == []
+    else:
+        assert sim008 == [("sink.py", 3)]
+
+
+# ----------------------------------------------------------------------
+# baseline ratchet
+# ----------------------------------------------------------------------
+def test_baseline_roundtrip_tolerates_everything_written(
+    tmp_path, interproc_violations
+):
+    assert interproc_violations  # the fixtures guarantee findings
+    path = tmp_path / "baseline.json"
+    write_baseline(path, interproc_violations)
+    tolerated = load_baseline(path)
+    fresh, baselined = apply_baseline(interproc_violations, tolerated)
+    assert fresh == []
+    assert baselined == len(interproc_violations)
+
+
+def test_new_finding_escapes_the_baseline(tmp_path, interproc_violations):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, interproc_violations)
+    tolerated = load_baseline(path)
+    novel = Violation("SIM008", "brand_new.py", 1, 0, "a new finding")
+    fresh, _ = apply_baseline([*interproc_violations, novel], tolerated)
+    assert fresh == [novel]
+
+
+def test_baseline_fingerprint_ignores_line_numbers():
+    a = Violation("SIM002", "m.py", 3, 0, "unseeded rng")
+    b = Violation("SIM002", "m.py", 90, 4, "unseeded rng")
+    assert finding_fingerprint(a) == finding_fingerprint(b)
+
+
+def test_baseline_count_semantics(tmp_path):
+    a = Violation("SIM002", "m.py", 3, 0, "unseeded rng")
+    b = Violation("SIM002", "m.py", 9, 0, "unseeded rng")  # same fingerprint
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [a])  # one tolerated occurrence
+    fresh, baselined = apply_baseline([a, b], load_baseline(path))
+    assert baselined == 1
+    assert fresh == [b]
+
+
+def test_baseline_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"schema": 99, "findings": {}}')
+    with pytest.raises(ValueError):
+        load_baseline(path)

@@ -85,13 +85,104 @@ def test_cli_unknown_rule_is_a_usage_error():
 def test_cli_list_rules_prints_catalogue():
     result = _run_cli("--list-rules")
     assert result.returncode == 0
-    for rule_id in (
-        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006", "SIM007",
-    ):
-        assert rule_id in result.stdout
+    for n in range(1, 10):
+        assert f"SIM00{n}" in result.stdout
 
 
 def test_cli_missing_path_is_a_usage_error():
     result = _run_cli("no/such/dir")
     assert result.returncode == 2
     assert "no such path" in result.stderr
+
+
+# ----------------------------------------------------------------------
+# whole-program mode
+# ----------------------------------------------------------------------
+def test_whole_program_source_tree_is_clean():
+    from repro.analysis import WholeProgramAnalyzer
+
+    violations = WholeProgramAnalyzer().analyze_paths([SRC, BENCHMARKS])
+    rendered = "\n".join(v.render() for v in violations)
+    assert not violations, f"whole-program violations in the tree:\n{rendered}"
+
+
+def test_cli_whole_program_fixture_gate_fires_all_nine_rules():
+    result = _run_cli("--whole-program", "--format", "json", str(FIXTURES))
+    assert result.returncode == 1, result.stdout + result.stderr
+    document = json.loads(result.stdout)
+    fired = set(document["counts"])
+    expected = {f"SIM00{n}" for n in range(1, 10)}
+    assert fired == expected, f"expected all nine rules to fire, got {fired}"
+
+
+def test_cli_selecting_sim008_implies_whole_program():
+    result = _run_cli("--format", "json", "--rule", "SIM008", str(FIXTURES))
+    assert result.returncode == 1, result.stdout + result.stderr
+    document = json.loads(result.stdout)
+    assert set(document["counts"]) == {"SIM008"}
+    # interprocedural findings carry their witness path
+    assert all(row.get("trace") for row in document["violations"])
+
+
+def test_cli_explain_prints_witness_paths():
+    result = _run_cli(
+        "--whole-program", "--explain", "SIM008", str(FIXTURES / "interproc")
+    )
+    assert result.returncode == 1
+    assert "witness path" in result.stdout
+    assert "time.perf_counter() at line" in result.stdout
+
+
+def test_cli_sarif_output_is_wellformed():
+    result = _run_cli("--whole-program", "--format", "sarif", str(FIXTURES))
+    assert result.returncode == 1
+    document = json.loads(result.stdout)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {f"SIM00{n}" for n in range(1, 10)} <= rule_ids
+    assert run["results"], "expected findings over the fixture tree"
+    for row in run["results"]:
+        location = row["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+
+def test_cli_baseline_gate_tolerates_known_findings(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    write = _run_cli(
+        "--whole-program", "--write-baseline",
+        "--baseline", str(baseline), str(FIXTURES / "interproc"),
+    )
+    assert write.returncode == 0, write.stdout + write.stderr
+    gated = _run_cli(
+        "--whole-program", "--baseline", str(baseline),
+        str(FIXTURES / "interproc"),
+    )
+    assert gated.returncode == 0, gated.stdout + gated.stderr
+    assert "baselined finding(s) hidden" in gated.stdout
+
+
+def test_cli_missing_baseline_is_a_usage_error(tmp_path):
+    result = _run_cli(
+        "--whole-program", "--baseline", str(tmp_path / "absent.json"),
+        str(FIXTURES / "interproc"),
+    )
+    assert result.returncode == 2
+    assert "--write-baseline" in result.stderr
+
+
+def test_cli_changed_only_cache_is_result_invariant(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    args = (
+        "--whole-program", "--changed-only", "--cache-dir", cache_dir,
+        "--format", "json", str(FIXTURES / "interproc"),
+    )
+    cold = _run_cli(*args)
+    warm = _run_cli(*args)
+    assert cold.returncode == warm.returncode == 1
+    assert json.loads(cold.stdout) == json.loads(warm.stdout)
+    assert "155 miss" not in cold.stderr  # only the fixture files are hashed
+    assert " 0 hit(s)" in cold.stderr
+    assert " 0 miss(es)" in warm.stderr
