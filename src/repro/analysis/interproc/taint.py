@@ -44,6 +44,14 @@ RULE_ID = "SIM008"
 #: with SIM001 so the two layers cannot disagree about who is exempt.
 SINK_ALLOWLIST: tuple[str, ...] = WallClockRule.allowlist
 
+#: Domains whose functions count as SIM008 sinks.  ``repro.ops`` is a
+#: sink on top of the sim domains: the observation plane must stay a
+#: pure *reader* of host facts, so an unwaived clock read reachable
+#: from ops code is flagged interprocedurally (the fixture
+#: ``tests/analysis_fixtures/interproc/sim008_ops_unwaived.py`` proves
+#: it still fires there).
+SINK_DOMAINS: tuple[str, ...] = (*SIM_DOMAINS, "repro.ops")
+
 
 @dataclass(frozen=True, slots=True)
 class TaintInfo:
@@ -122,7 +130,7 @@ class TaintAnalysis:
 
 
 def _is_sink(module: str) -> bool:
-    return module_in(module, SIM_DOMAINS) and not module_in(
+    return module_in(module, SINK_DOMAINS) and not module_in(
         module, SINK_ALLOWLIST
     )
 
@@ -199,6 +207,7 @@ __all__ = [
     "RULE_ID",
     "render_trace",
     "SINK_ALLOWLIST",
+    "SINK_DOMAINS",
     "TaintAnalysis",
     "TaintInfo",
     "taint_violations",

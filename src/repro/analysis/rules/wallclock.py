@@ -19,10 +19,13 @@ therefore outside the deterministic core:
     drives stays on the virtual clock.
 ``repro.exec.queue``
     The engine's work-stealing pool stamps each cell with its wall
-    duration (``timed_call``) for progress reporting, event-stream
-    metadata and cache telemetry.  The duration never feeds back into
-    any result — the event-stream golden test normalises it to zero
-    precisely because it is presentation-only.
+    duration (``timed_call``), its CPU/RSS resource profile
+    (``profiled_call``: ``os.times`` / ``resource.getrusage``) and
+    worker heartbeat timestamps — progress reporting, event-stream
+    metadata and the ops plane's liveness ledger.  None of it ever
+    feeds back into any result — the event-stream golden test
+    normalises all of it to zero precisely because it is
+    presentation-only.
 ``repro.experiments.overhead``
     Reproduces the paper's overhead table, whose whole point is
     comparing *real* recognition cost against the oracle — the one
@@ -63,6 +66,8 @@ WALL_CLOCK_NAMES = frozenset(
         "time.perf_counter_ns",
         "time.process_time",
         "time.process_time_ns",
+        "os.times",
+        "resource.getrusage",
         "datetime.datetime.now",
         "datetime.datetime.utcnow",
         "datetime.datetime.today",

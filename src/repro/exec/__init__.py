@@ -57,11 +57,17 @@ from repro.exec.events import (
 from repro.exec.hashing import canonical, code_salt, fingerprint
 from repro.exec.progress import (
     CellReport,
+    EtaTracker,
     ProgressHook,
     ProgressPrinter,
     StagedProgress,
 )
-from repro.exec.queue import WorkerCrash, WorkStealingPool
+from repro.exec.queue import (
+    WorkerCrash,
+    WorkerHealth,
+    WorkStealingPool,
+    profiled_call,
+)
 from repro.exec.runner import (
     ENV_JOBS,
     SweepRunner,
@@ -82,6 +88,7 @@ __all__ = [
     "ENV_KILL_AFTER",
     "ENV_RUN_DIR",
     "Engine",
+    "EtaTracker",
     "Event",
     "EventSink",
     "Finished",
@@ -100,6 +107,7 @@ __all__ = [
     "TelemetrySink",
     "WorkStealingPool",
     "WorkerCrash",
+    "WorkerHealth",
     "aggregate_telemetry",
     "canonical",
     "code_salt",
@@ -107,6 +115,7 @@ __all__ = [
     "engine_cell",
     "execute_cell",
     "fingerprint",
+    "profiled_call",
     "read_event_log",
     "resolve_jobs",
     "resolve_run_root",

@@ -216,8 +216,16 @@ class RunDir:
         label: str,
         stage: str,
         seconds: float,
+        utime_s: float = 0.0,
+        stime_s: float = 0.0,
+        max_rss_kb: float = 0.0,
     ) -> None:
-        """Journal one completed cell (durable before returning)."""
+        """Journal one completed cell (durable before returning).
+
+        The resource-profile fields feed the slowest-cells tables
+        (``repro.ops.profiles``) and ``python -m repro.ops attach``;
+        zeros for cache-hit folds, which executed nothing.
+        """
         self.journal.append({
             "kind": "cell",
             "key": key,
@@ -225,6 +233,9 @@ class RunDir:
             "label": label,
             "stage": stage,
             "seconds": round(seconds, 6),
+            "utime_s": round(utime_s, 6),
+            "stime_s": round(stime_s, 6),
+            "max_rss_kb": round(max_rss_kb, 3),
         })
 
     def close(self) -> None:

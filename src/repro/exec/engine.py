@@ -63,11 +63,13 @@ from repro.exec.events import (
 from repro.exec.hashing import code_salt, fingerprint
 from repro.exec.progress import ProgressHook
 from repro.exec.queue import (
+    Profile,
     Task,
     WorkerCrash,
+    WorkerHealth,
     WorkStealingPool,
     fork_available,
-    timed_call,
+    profiled_call,
 )
 
 ENV_JOBS = "REPRO_JOBS"
@@ -154,6 +156,23 @@ class Engine:
         #: cumulative outcome tallies over the engine lifetime
         self.stats = {"ran": 0, "hit": 0, "resumed": 0, "sweeps": 0}
         self.last_results: list[Any] = []
+        #: worker liveness ledger fed by queue heartbeats (read by the
+        #: ops plane, never by the engine's own control flow)
+        self.worker_health = WorkerHealth()
+        #: fingerprint of the most recently planned sweep
+        self.plan_fingerprint: Optional[str] = None
+        #: whole-run cell-count hint from multi-sweep drivers (fleet
+        #: epoch loops, fuzz campaigns) — see :meth:`expect_cells`
+        self.cells_hint: Optional[int] = None
+        #: cells already journalled when the run directory attached
+        #: (the resume lineage /status reports)
+        self.resumed_at_open = 0
+        # Live status fold for /status, <run-dir>/status.json and the
+        # flight recorder.  Imported lazily: repro.exec must keep no
+        # import-time dependency on the ops layer above it.
+        from repro.ops.status import RunStatus
+
+        self.status = RunStatus(engine=self)
 
     # ------------------------------------------------------------------
     @property
@@ -165,9 +184,23 @@ class Engine:
     def add_sink(self, sink: EventSink) -> None:
         self._sinks.append(sink)
 
+    def expect_cells(self, total: Optional[int]) -> None:
+        """Hint the whole-run cell total for /status ETAs.
+
+        Multi-sweep drivers (the fleet's epoch loop, a fuzz campaign)
+        know roughly how many cells the *entire* run will take; without
+        the hint the ops plane can only project over the cells planned
+        so far.  Observability metadata only — nothing in execution
+        reads it.
+        """
+        self.cells_hint = total
+
     def _event(self, cls: Callable[..., Event], **fields: Any) -> Event:
         event = cls(seq=self._seq, **fields)
         self._seq += 1
+        # the status fold observes every event at the source, so /status
+        # is live even for callers that iterate stream() directly
+        self.status.observe(event)
         return event
 
     # ------------------------------------------------------------------
@@ -185,9 +218,18 @@ class Engine:
         )
         self._journal_keys = self.run_dir.completed_keys()
         self._completed = len(self._journal_keys)
+        self.resumed_at_open = len(self._journal_keys)
         # the run directory keeps its own event log, appended across
         # resumes so the full history of the run reads in one file
         self._sinks.append(JsonlSink(self.run_dir.events_path, append=True))
+        # ... and a live status.json, rewritten atomically on every
+        # checkpoint so a detached run stays inspectable without the
+        # HTTP ops plane (lazy import: exec stays below repro.ops)
+        from repro.ops.status import StatusWriter
+
+        self._sinks.append(
+            StatusWriter(self.run_dir.path / "status.json", self.status)
+        )
 
     # ------------------------------------------------------------------
     # the phases, as an event generator
@@ -213,8 +255,11 @@ class Engine:
             cell.cache_key(self.salt) if need_keys else None
             for cell in cells
         ]
+        if need_keys:
+            self.plan_fingerprint = fingerprint(keys)
         if self.run_root is not None:
-            self._attach_run_dir(fingerprint(keys))
+            assert self.plan_fingerprint is not None
+            self._attach_run_dir(self.plan_fingerprint)
         yield self._event(
             PhaseStarted, phase="plan", stage=stage, cells=total
         )
@@ -303,7 +348,7 @@ class Engine:
         by_index = {index: (cell, key) for index, cell, key in pending}
         workers = self._effective_jobs(len(pending))
         try:
-            for index, value, seconds in self._completions(
+            for index, value, seconds, profile in self._completions(
                 queue_order, workers
             ):
                 cell, key = by_index[index]
@@ -311,6 +356,7 @@ class Engine:
                     self.cache.put(key, value)
                 results[index] = value
                 counts["ran"] += 1
+                profile = profile or {}
                 yield self._event(
                     CellFinished,
                     index=index,
@@ -320,10 +366,14 @@ class Engine:
                     seconds=seconds,
                     key=key,
                     stage=stage,
+                    utime_s=profile.get("utime_s", 0.0),
+                    stime_s=profile.get("stime_s", 0.0),
+                    max_rss_kb=profile.get("max_rss_kb", 0.0),
                 )
                 if key is not None and self.run_dir is not None:
                     self._checkpoint(
-                        key, index, cell, stage, seconds, value
+                        key, index, cell, stage, seconds, value,
+                        profile=profile,
                     )
                     yield self._event(
                         CheckpointWritten,
@@ -401,17 +451,17 @@ class Engine:
         self,
         queue_order: Sequence[tuple[int, Cell, Optional[str]]],
         workers: int,
-    ) -> Iterator[tuple[int, Any, float]]:
+    ) -> Iterator[tuple[int, Any, float, Optional[Profile]]]:
         tasks: list[Task] = [
             (index, cell.fn, dict(cell.kwargs))
             for index, cell, _key in queue_order
         ]
         if workers <= 1:
             for index, fn, kwargs in tasks:
-                value, seconds = timed_call(fn, kwargs)
-                yield index, value, seconds
+                value, seconds, profile = profiled_call(fn, kwargs)
+                yield index, value, seconds, profile
             return
-        pool = WorkStealingPool(workers)
+        pool = WorkStealingPool(workers, health=self.worker_health)
         yield from pool.iter_results(tasks)
 
     # ------------------------------------------------------------------
@@ -425,6 +475,7 @@ class Engine:
         stage: str,
         seconds: float,
         value: Any,
+        profile: Optional[Profile] = None,
     ) -> None:
         """Store the result, then journal it — durable in that order.
 
@@ -435,10 +486,14 @@ class Engine:
         have to re-execute anyway, via the store-miss fallback).
         """
         assert self.run_dir is not None
+        profile = profile or {}
         self.run_dir.results.put(key, value)
         self.run_dir.record_cell(
             key, index=index, label=cell.display, stage=stage,
             seconds=seconds,
+            utime_s=profile.get("utime_s", 0.0),
+            stime_s=profile.get("stime_s", 0.0),
+            max_rss_kb=profile.get("max_rss_kb", 0.0),
         )
         self._journal_keys.add(key)
         self._completed += 1

@@ -109,6 +109,13 @@ class CellFinished(Event):
     seconds: float
     key: Optional[str] = None
     stage: str = ""
+    #: per-cell resource profile (CPU seconds in user/kernel mode and
+    #: the executing process's peak RSS) — observability metadata like
+    #: ``seconds``, normalised to zero in golden logs; all 0.0 for
+    #: cache hits and resumed replays, which execute nothing
+    utime_s: float = 0.0
+    stime_s: float = 0.0
+    max_rss_kb: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -323,7 +330,9 @@ def _segments(
 
 
 def validate_events(
-    records: Sequence[Mapping[str, Any]], partial: bool = False
+    records: Sequence[Mapping[str, Any]],
+    partial: bool = False,
+    ring: bool = False,
 ) -> list[str]:
     """Contract-check an event log; returns problems (empty = valid).
 
@@ -341,6 +350,13 @@ def validate_events(
 
     ``partial=True`` permits the *last* segment to lack a terminal
     event — the shape a SIGKILLed run leaves behind.
+
+    ``ring=True`` validates a flight-recorder dump (``repro.ops``): the
+    recorder keeps only the last N events, so the **first** segment may
+    be truncated at its head — its opener, its ran-requires-scheduled
+    pairing and its ``Finished`` count reconciliation are waived (the
+    evidence fell off the ring); every later segment is complete and
+    validates fully.
     """
     problems: list[str] = []
     if not records:
@@ -349,11 +365,13 @@ def validate_events(
     last_seq: Optional[int] = None
     for seg_index, (segment, crashed) in enumerate(segments):
         prefix = f"segment {seg_index}"
+        #: the head of a ring dump: possibly truncated from the front
+        head = ring and seg_index == 0
         terminal = segment[-1].get("kind") in ("finished", "interrupted")
         # a crashed segment (cut short by the next engine restart) is
         # legal evidence of a kill+resume; a trailing truncation needs
         # the caller to opt in with ``partial``
-        if not terminal and not crashed and not (
+        if not terminal and not crashed and not head and not (
             partial and seg_index == len(segments) - 1
         ):
             problems.append(f"{prefix}: no terminal event")
@@ -370,7 +388,11 @@ def validate_events(
                 problems.append(f"{where}: {exc}")
                 continue
             if pos == 0:
-                if not isinstance(event, PhaseStarted) or event.phase != "plan":
+                # a ring head may start mid-sweep: no opener requirement
+                if not head and (
+                    not isinstance(event, PhaseStarted)
+                    or event.phase != "plan"
+                ):
                     opener = (
                         f"phase_started({event.phase})"
                         if isinstance(event, PhaseStarted)
@@ -417,7 +439,10 @@ def validate_events(
                         f"{where}: cell {event.index} finished twice"
                     )
                 finished_cells.add(cell)
-                if event.outcome == "ran" and cell not in scheduled:
+                # a ring head may have evicted the CellScheduled record
+                if event.outcome == "ran" and cell not in scheduled and (
+                    not head
+                ):
                     problems.append(
                         f"{where}: cell {event.index} ran without being "
                         "scheduled"
@@ -432,6 +457,8 @@ def validate_events(
                     )
                 last_completed = event.completed
             elif isinstance(event, Finished):
+                if head:
+                    continue  # head truncation dropped early outcomes
                 observed = (
                     outcomes["ran"], outcomes["hit"], outcomes["resumed"]
                 )
@@ -462,8 +489,9 @@ def normalize_events(
     normalised: list[dict[str, Any]] = []
     for record in records:
         copy = dict(record)
-        if "seconds" in copy:
-            copy["seconds"] = 0.0
+        for field in ("seconds", "utime_s", "stime_s", "max_rss_kb"):
+            if field in copy:
+                copy[field] = 0.0
         if copy.get("key"):
             copy["key"] = "<key>"
         normalised.append(copy)
@@ -471,7 +499,7 @@ def normalize_events(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """``python -m repro.exec.events LOG [--partial]`` — validate a log."""
+    """``python -m repro.exec.events LOG [--partial] [--ring]``."""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -483,9 +511,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--partial", action="store_true",
         help="allow the last sweep to lack a terminal event (killed run)",
     )
+    parser.add_argument(
+        "--ring", action="store_true",
+        help="validate a flight-recorder ring dump: the first sweep may "
+             "be truncated at its head (implies --partial)",
+    )
     args = parser.parse_args(argv)
     records = read_event_log(args.log)
-    problems = validate_events(records, partial=args.partial)
+    problems = validate_events(
+        records, partial=args.partial or args.ring, ring=args.ring
+    )
     for problem in problems:
         print(f"INVALID: {problem}")
     kinds: dict[str, int] = {}

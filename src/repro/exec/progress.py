@@ -15,6 +15,54 @@ from dataclasses import dataclass, replace
 from typing import Callable, Optional, TextIO
 
 
+class EtaTracker:
+    """Remaining-time projection that cannot divide by zero or go
+    negative.
+
+    Cached and resumed cells complete "instantly" (``seconds == 0.0``),
+    so a naive ``elapsed / completed`` rate either divides by zero (no
+    cells done yet) or projects a wildly optimistic finish after a warm
+    probe phase replayed most of the sweep.  The tracker therefore
+    averages **executed** cells only: :meth:`estimate` returns ``None``
+    until at least one cell has really run (unknown, not zero), and
+    every estimate clamps at ``0.0`` so a run that overshoots its plan
+    never reports negative time remaining.  Pinned by
+    ``tests/test_exec_progress.py``.
+    """
+
+    __slots__ = ("ran", "ran_seconds")
+
+    def __init__(self) -> None:
+        self.ran = 0
+        self.ran_seconds = 0.0
+
+    def note(self, outcome: str, seconds: float) -> None:
+        """Fold one finished cell (the ``CellFinished`` fields)."""
+        if outcome == "ran":
+            self.ran += 1
+            self.ran_seconds += max(0.0, seconds)
+
+    def rate(self) -> Optional[float]:
+        """Mean seconds per executed cell; None before the first one."""
+        if self.ran <= 0:
+            return None
+        return self.ran_seconds / self.ran
+
+    def estimate(self, remaining: int) -> Optional[float]:
+        """Projected seconds for ``remaining`` more cells.
+
+        ``0.0`` when nothing remains, ``None`` when no executed cell
+        has established a rate yet, otherwise ``rate * remaining``
+        clamped to be non-negative.
+        """
+        if remaining <= 0:
+            return 0.0
+        per_cell = self.rate()
+        if per_cell is None:
+            return None
+        return max(0.0, per_cell * remaining)
+
+
 @dataclass(frozen=True)
 class CellReport:
     """Emitted once per cell, as soon as its result is known."""
@@ -89,4 +137,10 @@ class StagedProgress:
         return hook
 
 
-__all__ = ["CellReport", "ProgressHook", "ProgressPrinter", "StagedProgress"]
+__all__ = [
+    "CellReport",
+    "EtaTracker",
+    "ProgressHook",
+    "ProgressPrinter",
+    "StagedProgress",
+]

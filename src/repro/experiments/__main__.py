@@ -20,7 +20,11 @@ content-addressed run directory, so a killed run — Ctrl-C, SIGKILL,
 OOM — resumes with only unfinished cells re-executed (automatically,
 since the run id derives from the planned sweep; ``--resume RUN-ID``
 pins a directory explicitly).  ``--events-out PATH`` additionally
-streams the engine's typed event narration as JSONL.  Per-cell
+streams the engine's typed event narration as JSONL.  ``--serve
+[HOST:]PORT`` (or ``REPRO_SERVE``) attaches the read-only ops plane:
+live ``/metrics``, ``/status`` and ``/events`` over HTTP, a flight
+recorder that dumps the last events into the run directory when the
+run dies, and a slowest-cells table after checkpointed runs.  Per-cell
 progress, the cache hit/miss summary and the engine tallies go to
 stderr; stdout carries only the experiment tables, so serial,
 parallel, cached and resumed runs print byte-identical results.
@@ -331,6 +335,12 @@ def main(argv: list[str] | None = None) -> int:
         help="write the engine's typed event stream as JSONL to PATH",
     )
     parser.add_argument(
+        "--serve", default=None, metavar="[HOST:]PORT",
+        help="serve live /metrics, /status and /events for this run "
+             "over HTTP (default: $REPRO_SERVE, else no server; "
+             "port 0 picks a free port)",
+    )
+    parser.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="with a single experiment: also run that family's "
              "representative traced cell (scheduling timeline + telemetry "
@@ -360,6 +370,21 @@ def main(argv: list[str] | None = None) -> int:
         runner = build_runner(args)
     except ValueError as exc:  # bad --jobs / REPRO_JOBS
         parser.error(str(exc))
+    from repro.ops import attach_ops, resolve_serve_spec
+
+    try:
+        serve_spec = resolve_serve_spec(args.serve)
+    except ValueError as exc:  # bad --serve / REPRO_SERVE
+        parser.error(str(exc))
+    # the ops plane attaches whenever there is something to observe: a
+    # live HTTP endpoint, or a run directory the flight recorder can
+    # dump into; a bare `python -m repro.experiments fig2` stays free
+    plane = None
+    if serve_spec is not None or args.run_dir is not None:
+        plane = attach_ops(runner.engine, spec=serve_spec)
+        if plane.server is not None:
+            # stderr: stdout stays byte-identical with/without --serve
+            print(f"[ops] serving at {plane.server.url}", file=sys.stderr)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     # fail fast — before spending minutes running the experiments
     if args.telemetry_out is not None and (
@@ -409,11 +434,22 @@ def main(argv: list[str] | None = None) -> int:
                 "checkpointed)",
                 file=sys.stderr,
             )
+        if plane is not None:
+            plane.close()
         engine.close()
         return 130
     except RunDirError as exc:
         print(f"[engine] {exc}", file=sys.stderr)
+        if plane is not None:
+            plane.close()
         return 2
+    except BaseException:
+        # anything else dying mid-run: capture the last events before
+        # the traceback unwinds (the dump lands in the run directory)
+        if plane is not None:
+            plane.recorder.dump("unhandled-exception")
+            plane.close()
+        raise
     if args.telemetry_out is not None:
         from repro.telemetry import write_jsonl
 
@@ -464,6 +500,17 @@ def main(argv: list[str] | None = None) -> int:
             f"resumed={engine.stats['resumed']} run={run_id}",
             file=sys.stderr,
         )
+    if engine.run_dir is not None:
+        # the where-did-the-time-go table, from the journal's per-cell
+        # resource profiles (stderr: stdout carries only the tables)
+        from repro.ops import read_journal, render_slowest
+
+        journal = read_journal(engine.run_dir.path / "journal.jsonl")
+        executed = [r for r in journal if float(r.get("seconds", 0)) > 0]
+        if executed:
+            print(f"[ops] {render_slowest(executed, k=5)}", file=sys.stderr)
+    if plane is not None:
+        plane.close()
     engine.close()
     return 0
 

@@ -195,6 +195,11 @@ class FleetSimulation:
     # ------------------------------------------------------------------
     def run(self) -> FleetRun:
         spec = self.spec
+        # one simulation cell per host per epoch: hint the whole-run
+        # total so the ops plane's /status ETA projects over the full
+        # campaign instead of the epochs planned so far (observability
+        # metadata only — execution never reads it)
+        self.runner.engine.expect_cells(spec.epochs * len(self.host_ids))
         traffic = TrafficGenerator(
             self.story, capacity=spec.capacity, seed=self.seed
         )

@@ -54,6 +54,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--run-dir", type=Path, default=None, metavar="DIR",
                      help="with --jobs: journal completed cases under "
                           "DIR so a killed campaign resumes")
+    run.add_argument("--serve", default=None, metavar="[HOST:]PORT",
+                     help="serve live /metrics, /status and /events "
+                          "for the campaign over HTTP (implies engine "
+                          "mode, like --jobs; default: $REPRO_SERVE)")
     # gate flags (CI)
     run.add_argument("--min-alg-branches", type=int, default=0,
                      help="fail unless this many Algorithm 1/2 branches "
@@ -79,11 +83,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.ops import attach_ops, resolve_serve_spec
+
+    serve_spec = resolve_serve_spec(args.serve)
     runner = None
-    if args.jobs is not None or args.run_dir is not None:
+    plane = None
+    if (
+        args.jobs is not None
+        or args.run_dir is not None
+        or serve_spec is not None
+    ):
         from repro.exec import SweepRunner
 
         runner = SweepRunner(jobs=args.jobs, run_root=args.run_dir)
+        plane = attach_ops(runner.engine, spec=serve_spec)
+        # one cell per case: lets /status project an ETA over the
+        # whole campaign instead of only the cells planned so far
+        runner.engine.expect_cells(args.cases)
+        if plane.server is not None:
+            print(f"[ops] serving at {plane.server.url}", file=sys.stderr)
     campaign = run_campaign(
         args.cases,
         seed=args.seed,
@@ -95,6 +113,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         log=None if args.quiet else sys.stderr,
         runner=runner,
     )
+    if plane is not None:
+        plane.close()
     if runner is not None:
         runner.engine.close()
     print(campaign.coverage.render())

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.ops attach RUN_DIR``."""
+
+import sys
+
+from repro.ops.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    sys.exit(main())

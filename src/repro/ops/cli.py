@@ -1,0 +1,143 @@
+"""``python -m repro.ops attach RUN_DIR`` — inspect a run from disk.
+
+The offline counterpart of the live HTTP endpoints: given a run
+directory (or a run root holding exactly one run), print its manifest,
+the last written ``status.json``, journal progress, the slowest-cells
+table, event-log validity and any flight-recorder dumps.  Everything
+read here is an artifact another component already wrote — this tool
+never mutates a run directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.exec.events import read_event_log, validate_events
+from repro.ops.profiles import read_journal, render_slowest
+from repro.ops.status import read_status
+
+
+def resolve_run_dir(path: Path) -> Optional[Path]:
+    """``path`` itself, or its single run child, if it holds a run."""
+    if (path / "manifest.json").exists():
+        return path
+    if path.is_dir():
+        children = sorted(
+            child
+            for child in path.iterdir()
+            if (child / "manifest.json").exists()
+        )
+        if len(children) == 1:
+            return children[0]
+    return None
+
+
+def _describe(run_dir: Path, top: int) -> list[str]:
+    lines: list[str] = []
+    manifest = json.loads(
+        (run_dir / "manifest.json").read_text(encoding="utf-8")
+    )
+    lines.append(f"run {manifest.get('run_id')} at {run_dir}")
+    lines.append(
+        f"  salt {manifest.get('salt')}  plan {manifest.get('plan')}"
+    )
+
+    status = read_status(run_dir / "status.json")
+    if status is not None:
+        cells = status.get("cells", {})
+        lines.append(
+            "  status: phase={phase} done={done}/{expected} "
+            "ran={ran} hit={hit} resumed={resumed} "
+            "checkpointed={checkpointed}".format(
+                phase=status.get("phase") or "?",
+                done=cells.get("done", 0),
+                expected=cells.get("expected", 0),
+                ran=cells.get("ran", 0),
+                hit=cells.get("hit", 0),
+                resumed=cells.get("resumed", 0),
+                checkpointed=cells.get("checkpointed", 0),
+            )
+        )
+        if status.get("interrupted"):
+            lines.append(f"  interrupted: {status['interrupted']}")
+    else:
+        lines.append("  status: no status.json")
+
+    journal = read_journal(run_dir / "journal.jsonl")
+    lines.append(f"  journal: {len(journal)} cell(s) checkpointed")
+    if journal:
+        lines.append("")
+        lines.append(render_slowest(journal, k=top))
+        lines.append("")
+
+    events_path = run_dir / "events.jsonl"
+    if events_path.exists():
+        records = read_event_log(events_path)
+        problems = validate_events(records, partial=True)
+        verdict = "valid" if not problems else (
+            f"INVALID ({len(problems)} problem(s))"
+        )
+        lines.append(f"  events: {len(records)} record(s), {verdict}")
+        for problem in problems[:5]:
+            lines.append(f"    {problem}")
+    else:
+        lines.append("  events: no events.jsonl")
+
+    dumps = sorted(run_dir.glob("flightrec-*.jsonl"))
+    if dumps:
+        lines.append(f"  flight recorder: {len(dumps)} dump(s)")
+        for dump in dumps:
+            meta_path = dump.with_suffix(".meta.json")
+            reason = "?"
+            if meta_path.exists():
+                try:
+                    meta = json.loads(
+                        meta_path.read_text(encoding="utf-8")
+                    )
+                    reason = str(meta.get("reason", "?"))
+                except json.JSONDecodeError:
+                    reason = "unreadable meta"
+            records = read_event_log(dump)
+            problems = validate_events(records, partial=True, ring=True)
+            verdict = "valid" if not problems else "INVALID"
+            lines.append(
+                f"    {dump.name}: {len(records)} event(s), "
+                f"reason={reason}, {verdict}"
+            )
+    else:
+        lines.append("  flight recorder: no dumps")
+    return lines
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ops",
+        description="offline inspection of engine run directories",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    attach = sub.add_parser(
+        "attach", help="summarise a run directory from its artifacts"
+    )
+    attach.add_argument("run_dir", type=Path)
+    attach.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the slowest-cells table (default 10)",
+    )
+    args = parser.parse_args(argv)
+
+    run_dir = resolve_run_dir(args.run_dir)
+    if run_dir is None:
+        print(
+            f"error: {args.run_dir} is not a run directory (no "
+            "manifest.json, and not a root with exactly one run)"
+        )
+        return 2
+    for line in _describe(run_dir, top=args.top):
+        print(line)
+    return 0
+
+
+__all__ = ["main", "resolve_run_dir"]

@@ -1,0 +1,76 @@
+"""Per-cell resource profiles: the slowest-cells tables.
+
+The checkpoint journal (and the ``CellFinished`` stream) now carries a
+resource profile per executed cell — wall seconds, user/system CPU
+seconds, peak RSS.  This module turns a journal into the "where did
+the time go" table experiment reports print and ``python -m repro.ops
+attach`` shows for any run directory.
+
+Pure data massaging: everything here reads records something else
+already wrote; no clocks, no environment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping, Sequence, Union
+
+
+def read_journal(path: Union[str, Path]) -> list[dict[str, Any]]:
+    """Cell records from a ``journal.jsonl`` (empty if absent)."""
+    from repro.exec.checkpoint import CheckpointJournal
+
+    return [
+        record
+        for record in CheckpointJournal(path).load()
+        if record.get("kind") == "cell"
+    ]
+
+
+def slowest_cells(
+    records: Sequence[Mapping[str, Any]], k: int = 10
+) -> list[dict[str, Any]]:
+    """The top-``k`` cell records by wall seconds (stable tie order)."""
+    cells = [
+        dict(record)
+        for record in records
+        if record.get("kind", "cell") == "cell"
+    ]
+    cells.sort(
+        key=lambda r: (-float(r.get("seconds", 0.0)), str(r.get("label")))
+    )
+    return cells[:k]
+
+
+def render_slowest(
+    records: Sequence[Mapping[str, Any]],
+    k: int = 10,
+    title: str = "slowest cells",
+) -> str:
+    """A fixed-width table of the top-``k`` slowest cells."""
+    top = slowest_cells(records, k=k)
+    if not top:
+        return f"{title}: no executed cells recorded"
+    lines = [
+        f"{title} (top {len(top)} of {len(records)}):",
+        f"  {'seconds':>9}  {'utime':>8}  {'stime':>8}  "
+        f"{'rss_kb':>9}  {'stage':<10}  label",
+    ]
+    for record in top:
+        stage = str(record.get("stage", "")) or "-"
+        lines.append(
+            f"  {float(record.get('seconds', 0.0)):>9.3f}"
+            f"  {float(record.get('utime_s', 0.0)):>8.3f}"
+            f"  {float(record.get('stime_s', 0.0)):>8.3f}"
+            f"  {float(record.get('max_rss_kb', 0.0)):>9.0f}"
+            f"  {stage:<10}"
+            f"  {record.get('label', '?')}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "read_journal",
+    "render_slowest",
+    "slowest_cells",
+]

@@ -1,0 +1,326 @@
+"""The in-process HTTP ops plane: /metrics, /status, /events.
+
+Opt-in, stdlib-only observation of a running
+:class:`~repro.exec.engine.Engine`.  ``--serve [host:]port`` (or
+``REPRO_SERVE``) starts a :class:`ThreadingHTTPServer` on a daemon
+thread next to the run:
+
+* ``GET /metrics`` — Prometheus text 0.0.4 from the
+  :class:`~repro.ops.metrics.EngineMetricsSink` fold;
+* ``GET /status`` — the :class:`~repro.ops.status.RunStatus` JSON
+  document (same content as ``<run-dir>/status.json``);
+* ``GET /events`` — a live chunked JSONL tail: ring replay first,
+  then events as they happen (``?replay=N`` bounds the replay,
+  ``?limit=N`` closes the stream after N lines);
+* ``GET /healthz`` and ``GET /`` — liveness and a plain-text index.
+
+Read-only by construction: handlers serve snapshots of folds the
+:class:`OpsPlane` already maintains; nothing routes back into the
+engine, and a slow or dead client costs the engine nothing (the
+subscription drops, the handler thread dies).  The serial ≡ parallel ≡
+cached fold equivalence holds verbatim with the server on — pinned by
+``tests/test_ops_plane.py::test_serve_preserves_fold_bytes``.
+
+Wall-clock/env note: the ``REPRO_SERVE`` read and the server's socket
+machinery are host-side plumbing; the single environment read carries
+a simlint waiver naming that pinning test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.ops.flightrec import FlightRecorder
+from repro.ops.metrics import EngineMetricsSink
+from repro.ops.stream import EventRing, FanOutSink
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.engine import Engine
+
+ENV_SERVE = "REPRO_SERVE"
+
+#: host used when ``--serve PORT`` omits one — never a public bind by
+#: accident
+DEFAULT_HOST = "127.0.0.1"
+
+
+def parse_serve_spec(spec: str) -> tuple[str, int]:
+    """``"[host:]port"`` → ``(host, port)``; port 0 asks the OS."""
+    text = spec.strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = DEFAULT_HOST, text
+    if not host:
+        host = DEFAULT_HOST
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ValueError(
+            f"serve spec must be [host:]port, got {spec!r}"
+        ) from exc
+    if not 0 <= port <= 65535:
+        raise ValueError(f"serve port out of range: {port}")
+    return host, port
+
+
+def resolve_serve_spec(
+    spec: Optional[str] = None,
+) -> Optional[tuple[str, int]]:
+    """Explicit ``--serve`` argument > ``REPRO_SERVE`` > no server."""
+    if spec is not None:
+        return parse_serve_spec(spec)
+    # Whether an observation endpoint exists is operational plumbing;
+    # it cannot change a result byte (pinned by
+    # tests/test_ops_plane.py::test_serve_preserves_fold_bytes).
+    env = os.environ.get(ENV_SERVE, "").strip()  # simlint: disable=SIM008
+    return parse_serve_spec(env) if env else None
+
+
+class OpsHTTPServer(ThreadingHTTPServer):
+    """Threading server with a back-pointer to its ops plane."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    plane: "OpsPlane"
+
+
+class _OpsHandler(BaseHTTPRequestHandler):
+    """Request routing for the ops endpoints (GET-only)."""
+
+    server: OpsHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr chatter — the run owns stderr."""
+
+    def _send_text(
+        self, body: str, content_type: str, code: int = 200
+    ) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlsplit(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        try:
+            if route == "/metrics":
+                self._send_text(
+                    self.server.plane.metrics.render(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif route == "/status":
+                doc = self.server.plane.status.document()
+                self._send_text(
+                    json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                    "application/json",
+                )
+            elif route == "/events":
+                self._stream_events(parse_qs(parsed.query))
+            elif route == "/healthz":
+                self._send_text("ok\n", "text/plain; charset=utf-8")
+            elif route == "/":
+                self._send_text(
+                    "repro ops plane\n"
+                    "  /metrics  Prometheus exposition\n"
+                    "  /status   run summary (JSON)\n"
+                    "  /events   live JSONL tail "
+                    "(?replay=N&limit=N)\n"
+                    "  /healthz  liveness\n",
+                    "text/plain; charset=utf-8",
+                )
+            else:
+                self._send_text(
+                    "not found\n", "text/plain; charset=utf-8", code=404
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage
+
+    # ------------------------------------------------------------------
+    def _stream_events(self, query: dict[str, list[str]]) -> None:
+        """Chunked JSONL: ring replay, then live events until limit."""
+
+        def int_param(name: str, default: Optional[int]) -> Optional[int]:
+            values = query.get(name)
+            if not values:
+                return default
+            try:
+                return max(0, int(values[0]))
+            except ValueError:
+                return default
+
+        limit = int_param("limit", None)
+        replay = int_param("replay", None)
+        plane = self.server.plane
+        # Subscribe *before* snapshotting the ring: an event arriving in
+        # between lands in both, and the seq guard below deduplicates —
+        # the opposite order would silently lose it instead.
+        subscription = plane.fanout.subscribe()
+        try:
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "application/jsonl; charset=utf-8"
+            )
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            sent = 0
+            last_seq = -1
+            backlog = plane.ring.snapshot()
+            if replay is not None:
+                backlog = backlog[len(backlog) - min(replay, len(backlog)):]
+            for doc in backlog:
+                if limit is not None and sent >= limit:
+                    break
+                self._write_chunk(doc)
+                sent += 1
+                seq = doc.get("seq")
+                if isinstance(seq, int):
+                    last_seq = max(last_seq, seq)
+            while limit is None or sent < limit:
+                if plane.closing.is_set() or subscription.closed:
+                    break
+                doc = subscription.get(timeout=0.5)
+                if doc is None:
+                    continue
+                seq = doc.get("seq")
+                # engine seq resets to 0 on a new lifetime; only skip
+                # genuine replay duplicates from the subscribe window
+                if isinstance(seq, int) and 0 < seq <= last_seq:
+                    continue
+                self._write_chunk(doc)
+                sent += 1
+                if isinstance(seq, int):
+                    last_seq = seq
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # slow/vanished reader: drop it, never block the run
+        finally:
+            plane.fanout.unsubscribe(subscription)
+
+    def _write_chunk(self, doc: dict[str, Any]) -> None:
+        line = (
+            json.dumps(doc, separators=(", ", ": ")) + "\n"
+        ).encode("utf-8")
+        self.wfile.write(f"{len(line):x}\r\n".encode("ascii"))
+        self.wfile.write(line)
+        self.wfile.write(b"\r\n")
+        self.wfile.flush()
+
+
+class OpsServer:
+    """The HTTP listener on a daemon thread; ``port=0`` picks a port."""
+
+    def __init__(self, plane: "OpsPlane", host: str, port: int) -> None:
+        self.plane = plane
+        self._server = OpsHTTPServer((host, port), _OpsHandler)
+        self._server.plane = plane
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-ops-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+class OpsPlane:
+    """Everything observing one engine: folds, ring, recorder, server.
+
+    Construction wires one :class:`~repro.ops.stream.FanOutSink` into
+    the engine; the HTTP server is optional (:meth:`serve`).  A plane
+    without a server still earns its keep: the flight recorder and
+    status.json work headless.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        ring_capacity: Optional[int] = None,
+    ) -> None:
+        self.engine = engine
+        self.status = engine.status
+        self.metrics = EngineMetricsSink(health=engine.worker_health)
+        kwargs = {} if ring_capacity is None else {
+            "capacity": ring_capacity
+        }
+        self.ring = EventRing(**kwargs)
+        self.recorder = FlightRecorder(
+            dir_provider=self._dump_dir,
+            status=self.status,
+            registry=self.metrics.registry,
+        )
+        self.fanout = FanOutSink(
+            wrapped=[self.metrics, self.recorder], ring=self.ring
+        )
+        engine.add_sink(self.fanout)
+        self.server: Optional[OpsServer] = None
+        self.closing = threading.Event()
+
+    def _dump_dir(self) -> Path:
+        run_dir = self.engine.run_dir
+        return run_dir.path if run_dir is not None else Path(".")
+
+    # ------------------------------------------------------------------
+    def serve(self, spec: tuple[str, int]) -> OpsServer:
+        host, port = spec
+        self.server = OpsServer(self, host, port)
+        return self.server
+
+    def close(self) -> None:
+        self.closing.set()
+        if self.server is not None:
+            self.server.close()
+            self.server = None
+        self.fanout.close()
+
+
+def attach_ops(
+    engine: "Engine",
+    spec: Optional[tuple[str, int]] = None,
+    signals: bool = True,
+) -> OpsPlane:
+    """Wire the full ops plane onto an engine; serve when asked.
+
+    ``signals=True`` (CLI entry points) installs the flight recorder's
+    SIGTERM/SIGUSR1 dump handlers; library/test callers pass ``False``
+    to leave process signal state alone.
+    """
+    plane = OpsPlane(engine)
+    if signals:
+        plane.recorder.install_signals()
+    if spec is not None:
+        plane.serve(spec)
+    return plane
+
+
+__all__ = [
+    "DEFAULT_HOST",
+    "ENV_SERVE",
+    "OpsHTTPServer",
+    "OpsPlane",
+    "OpsServer",
+    "attach_ops",
+    "parse_serve_spec",
+    "resolve_serve_spec",
+]

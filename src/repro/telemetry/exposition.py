@@ -43,8 +43,27 @@ def _sanitize(name: str) -> str:
     return "".join(out)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition-format spec: label values quote ``\\``
+    as ``\\\\``, ``"`` as ``\\"`` and newline as ``\\n`` — a stage label
+    like ``epoch "2"`` or an embedded newline must round-trip through a
+    scraper instead of corrupting the series line."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escapes ``\\`` and newline only (no quoting)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(labels: LabelSet, extra: str = "") -> str:
-    parts = [f'{_sanitize(k)}="{v}"' for k, v in labels]
+    parts = [
+        f'{_sanitize(k)}="{_escape_label_value(v)}"' for k, v in labels
+    ]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -58,6 +77,9 @@ def prometheus_text(registry: TelemetryRegistry) -> str:
         metric = PROMETHEUS_PREFIX + _sanitize(instrument.name)
         if metric not in seen_types:
             seen_types.add(metric)
+            help_text = getattr(instrument, "help", "")
+            if help_text:
+                lines.append(f"# HELP {metric} {_escape_help(help_text)}")
             lines.append(f"# TYPE {metric} {instrument.kind}")
         if isinstance(instrument, Histogram):
             cumulative = 0

@@ -82,7 +82,7 @@ class RingBuffer:
 class Counter:
     """A monotonically increasing count (events, migrations, flips)."""
 
-    __slots__ = ("name", "labels", "value", "series")
+    __slots__ = ("name", "labels", "value", "series", "help")
 
     kind = "counter"
 
@@ -91,6 +91,8 @@ class Counter:
         self.labels = labels
         self.value = 0.0
         self.series = RingBuffer(ring)
+        #: optional ``# HELP`` text for Prometheus exposition
+        self.help = ""
 
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
@@ -99,7 +101,7 @@ class Counter:
 class Gauge:
     """A point-in-time level (queue depth, pool load, live VMs)."""
 
-    __slots__ = ("name", "labels", "value", "series")
+    __slots__ = ("name", "labels", "value", "series", "help")
 
     kind = "gauge"
 
@@ -108,6 +110,8 @@ class Gauge:
         self.labels = labels
         self.value = 0.0
         self.series = RingBuffer(ring)
+        #: optional ``# HELP`` text for Prometheus exposition
+        self.help = ""
 
     def set(self, value: float) -> None:
         self.value = value
@@ -125,7 +129,7 @@ class Histogram:
 
     __slots__ = (
         "name", "labels", "bounds", "bucket_counts",
-        "count", "sum", "min", "max", "value", "series",
+        "count", "sum", "min", "max", "value", "series", "help",
     )
 
     kind = "histogram"
@@ -147,6 +151,8 @@ class Histogram:
         self.max = 0.0
         self.value = 0.0
         self.series = RingBuffer(ring)
+        #: optional ``# HELP`` text for Prometheus exposition
+        self.help = ""
 
     def observe(self, value: float) -> None:
         if self.count == 0 or value < self.min:
@@ -184,26 +190,33 @@ class TelemetryRegistry:
     # ------------------------------------------------------------------
     # instrument access
     # ------------------------------------------------------------------
-    def counter(self, name: str, **labels: object) -> Counter:
+    def counter(
+        self, name: str, help: str = "", **labels: object
+    ) -> Counter:
         instrument = self._get("counter", name, labels)
         if instrument is None:
             instrument = Counter(name, canonical_labels(labels), self.ring)
             self._put(instrument)
         assert isinstance(instrument, Counter)
+        if help and not instrument.help:
+            instrument.help = help
         return instrument
 
-    def gauge(self, name: str, **labels: object) -> Gauge:
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
         instrument = self._get("gauge", name, labels)
         if instrument is None:
             instrument = Gauge(name, canonical_labels(labels), self.ring)
             self._put(instrument)
         assert isinstance(instrument, Gauge)
+        if help and not instrument.help:
+            instrument.help = help
         return instrument
 
     def histogram(
         self,
         name: str,
         bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+        help: str = "",
         **labels: object,
     ) -> Histogram:
         instrument = self._get("histogram", name, labels)
@@ -213,6 +226,8 @@ class TelemetryRegistry:
             )
             self._put(instrument)
         assert isinstance(instrument, Histogram)
+        if help and not instrument.help:
+            instrument.help = help
         return instrument
 
     def _get(

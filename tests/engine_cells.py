@@ -56,6 +56,16 @@ def suicide_cell(n: int, die_at: int) -> int:
     return n * n
 
 
+def slow_cell(n: int, spin_ms: int) -> int:
+    """Sleeps before computing — keeps a sweep alive long enough for
+    the ops-smoke CI job to poll the live HTTP endpoints.  Tests are
+    outside the simlint domains, so the sleep needs no waiver."""
+    import time
+
+    time.sleep(spin_ms / 1000.0)
+    return n * n
+
+
 def make_cells(count: int, knuth: int = 2654435761) -> list:
     """``count`` arith cells with canonical (importable) identity."""
     from repro.exec import Cell
@@ -87,8 +97,38 @@ def make_interrupting_cells(count: int, interrupt_at: int) -> list:
     ]
 
 
+def make_suicide_cells(count: int, die_at: int) -> list:
+    from repro.exec import Cell
+
+    from tests import engine_cells as canonical
+
+    return [
+        Cell(
+            canonical.suicide_cell,
+            dict(n=n, die_at=die_at),
+            label=f"die:{n}",
+        )
+        for n in range(count)
+    ]
+
+
+def make_slow_cells(count: int, spin_ms: int) -> list:
+    from repro.exec import Cell
+
+    from tests import engine_cells as canonical
+
+    return [
+        Cell(
+            canonical.slow_cell,
+            dict(n=n, spin_ms=spin_ms),
+            label=f"slow:{n}",
+        )
+        for n in range(count)
+    ]
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    from repro.exec import Engine
+    from repro.exec import Engine, WorkerCrash
 
     parser = argparse.ArgumentParser(
         prog="python -m tests.engine_cells",
@@ -102,14 +142,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--fold-out", type=Path, default=None,
         help="write the folded results pickle here (byte comparison)",
     )
+    parser.add_argument(
+        "--die-at", type=int, default=None, metavar="N",
+        help="use suicide cells: cell N SIGKILLs its worker "
+             "(flight-recorder leg of the crash suite)",
+    )
+    parser.add_argument(
+        "--spin-ms", type=int, default=None, metavar="MS",
+        help="use slow cells sleeping MS each (the ops-smoke CI job "
+             "needs a sweep that outlives a few curl polls)",
+    )
+    parser.add_argument(
+        "--serve", default=None, metavar="[HOST:]PORT",
+        help="attach the ops plane and serve /metrics, /status and "
+             "/events while the sweep runs",
+    )
     args = parser.parse_args(argv)
 
     engine = Engine(jobs=args.jobs, run_root=args.run_root)
-    results = engine.run(make_cells(args.cells), stage=args.stage)
+    plane = None
+    if args.serve is not None or args.run_root is not None:
+        from repro.ops import attach_ops, parse_serve_spec
+
+        spec = parse_serve_spec(args.serve) if args.serve else None
+        plane = attach_ops(engine, spec=spec)
+        if plane.server is not None:
+            print(f"[ops] serving at {plane.server.url}", file=sys.stderr)
+        engine.expect_cells(args.cells)
+    if args.die_at is not None:
+        cells = make_suicide_cells(args.cells, args.die_at)
+    elif args.spin_ms is not None:
+        cells = make_slow_cells(args.cells, args.spin_ms)
+    else:
+        cells = make_cells(args.cells)
+    try:
+        results = engine.run(cells, stage=args.stage)
+    except WorkerCrash as exc:
+        # the Interrupted event already made the flight recorder dump;
+        # report and exit with a distinct code the tests assert on
+        print(f"[engine] worker crash: {exc}", file=sys.stderr)
+        if plane is not None:
+            plane.close()
+        engine.close()
+        return 3
     payload = pickle.dumps(results)
     if args.fold_out is not None:
         args.fold_out.write_bytes(payload)
     print(hashlib.sha256(payload).hexdigest())
+    if plane is not None:
+        plane.close()
     engine.close()
     return 0
 

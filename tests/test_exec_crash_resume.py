@@ -17,6 +17,7 @@ randomized (but seeded) cell boundaries, then resume and verify:
   stream contract validator.
 """
 
+import json
 import os
 import pickle
 import random
@@ -40,12 +41,15 @@ JOBS = 2
 KILL_POINTS = sorted(random.Random(20260808).sample(range(1, CELLS), 3))
 
 
-def drive(run_root: Path, fold_out: Path, kill_after=None, jobs=JOBS):
+def drive(
+    run_root: Path, fold_out: Path, kill_after=None, jobs=JOBS, extra=()
+):
     """One ``tests.engine_cells`` sweep in a real subprocess."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     env.pop("REPRO_ENGINE_KILL_AFTER", None)
     env.pop("REPRO_JOBS", None)
+    env.pop("REPRO_SERVE", None)
     if kill_after is not None:
         env["REPRO_ENGINE_KILL_AFTER"] = str(kill_after)
     return subprocess.run(
@@ -55,6 +59,7 @@ def drive(run_root: Path, fold_out: Path, kill_after=None, jobs=JOBS):
             "--cells", str(CELLS),
             "--jobs", str(jobs),
             "--fold-out", str(fold_out),
+            *extra,
         ],
         cwd=REPO_ROOT,
         env=env,
@@ -164,6 +169,73 @@ def test_second_resume_is_pure_replay(tmp_path, uninterrupted):
     ]
     assert outcomes.count("ran") == CELLS  # the first run only
     assert outcomes.count("resumed") == CELLS  # the second, entirely
+
+
+def test_worker_crash_dumps_a_valid_flight_record(tmp_path):
+    """A worker SIGKILLed mid-sweep (pool crash, parent survives) must
+    leave a flight-recorder dump that the ring-mode validator accepts,
+    tagged with the crash reason."""
+    from repro.ops import read_status
+
+    run_root = tmp_path / "runs"
+    fold = tmp_path / "fold.pkl"
+    crashed = drive(run_root, fold, extra=["--die-at", "3"])
+    assert crashed.returncode == 3, (
+        f"expected the driver's worker-crash exit code 3, got "
+        f"rc={crashed.returncode}\n{crashed.stderr}"
+    )
+    assert not fold.exists(), "a crashed run must not publish a fold"
+
+    run_dir = the_run_dir(run_root)
+    dumps = sorted(run_dir.glob("flightrec-*.jsonl"))
+    assert dumps, f"no flight-recorder dump in {run_dir}"
+    records = read_event_log(dumps[-1])
+    assert records, "flight-recorder dump must not be empty"
+    assert validate_events(records, partial=True, ring=True) == [], (
+        "flight-recorder dump must pass the ring-mode validator"
+    )
+    meta = json.loads(dumps[-1].with_suffix(".meta.json").read_text())
+    assert meta["reason"] == "interrupted:worker-crash"
+    assert meta["events"] == len(records)
+
+    # status.json was rewritten on the Interrupted trigger and agrees
+    status = read_status(run_dir / "status.json")
+    assert status["interrupted"] == "worker-crash"
+
+
+def test_status_json_consistent_with_journal(tmp_path, uninterrupted):
+    """status.json (rewritten on every checkpoint) never claims more
+    progress than the journal holds — after a SIGKILL and again after
+    the clean resume."""
+    from repro.ops import read_status
+
+    kill_after = KILL_POINTS[0]
+    run_root = tmp_path / "runs"
+    fold = tmp_path / "fold.pkl"
+
+    killed = drive(run_root, fold, kill_after=kill_after)
+    assert killed.returncode == -signal.SIGKILL, killed.stderr
+    journal_lines = len(journalled_cells(run_root))
+    status = read_status(the_run_dir(run_root) / "status.json")
+    checkpointed = status["cells"]["checkpointed"]
+    # the status write and the journal fsync are not one atomic step:
+    # the kill can land between them, so allow a one-cell skew — but
+    # status must never run AHEAD of the durable journal
+    assert checkpointed <= journal_lines <= checkpointed + 1, (
+        f"status.json claims {checkpointed} checkpointed cells but the "
+        f"journal holds {journal_lines}"
+    )
+
+    resumed = drive(run_root, fold, kill_after=None)
+    assert resumed.returncode == 0, resumed.stderr
+    assert fold.read_bytes() == uninterrupted
+    journal_lines = len(journalled_cells(run_root))
+    status = read_status(the_run_dir(run_root) / "status.json")
+    assert status["cells"]["checkpointed"] == journal_lines == CELLS
+    assert status["cells"]["done"] == CELLS
+    assert status["interrupted"] is None
+    assert status["sweeps_finished"] == 1
+    assert status["phase"] == "fold"  # the last phase a clean run enters
 
 
 def test_killed_run_leaves_no_temp_files(tmp_path):

@@ -1,0 +1,85 @@
+"""EtaTracker contract: no div-by-zero, no negative ETA, ever.
+
+The old inline ETA math in the progress printer divided by the number
+of finished cells — zero until the first completion — and could go
+negative when a resumed run's replay storm outpaced the wall clock.
+:class:`repro.exec.progress.EtaTracker` owns that arithmetic now, with
+the clamps these tests pin.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exec.progress import EtaTracker
+
+
+class TestEtaTracker:
+    def test_no_samples_means_no_estimate(self):
+        tracker = EtaTracker()
+        assert tracker.rate() is None
+        assert tracker.estimate(10) is None  # never a ZeroDivisionError
+
+    def test_cached_outcomes_do_not_feed_the_rate(self):
+        """A resume replaying 1000 cells in ~0s must not project a
+        near-zero ETA for the cells that still have to execute."""
+        tracker = EtaTracker()
+        for _ in range(1000):
+            tracker.note("resumed", 0.0)
+            tracker.note("hit", 0.0)
+        assert tracker.rate() is None
+        assert tracker.estimate(5) is None
+
+    def test_rate_is_mean_of_ran_seconds(self):
+        tracker = EtaTracker()
+        tracker.note("ran", 2.0)
+        tracker.note("ran", 4.0)
+        assert tracker.rate() == pytest.approx(3.0)
+        assert tracker.estimate(10) == pytest.approx(30.0)
+
+    def test_zero_remaining_is_zero_eta(self):
+        tracker = EtaTracker()
+        assert tracker.estimate(0) == 0.0  # even with no samples
+        tracker.note("ran", 5.0)
+        assert tracker.estimate(0) == 0.0
+
+    def test_negative_remaining_clamps_to_zero(self):
+        """A stale cells-hint smaller than the done count must not
+        produce a negative ETA."""
+        tracker = EtaTracker()
+        tracker.note("ran", 5.0)
+        assert tracker.estimate(-3) == 0.0
+
+    def test_negative_seconds_clamp_at_note_time(self):
+        """A clock-step backwards (NTP) cannot poison the mean."""
+        tracker = EtaTracker()
+        tracker.note("ran", -1.0)
+        tracker.note("ran", 3.0)
+        rate = tracker.rate()
+        assert rate is not None and rate >= 0.0
+        estimate = tracker.estimate(4)
+        assert estimate is not None and estimate >= 0.0
+
+    @given(
+        samples=st.lists(
+            st.tuples(
+                st.sampled_from(["ran", "hit", "resumed"]),
+                st.floats(
+                    min_value=-10.0,
+                    max_value=10.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            max_size=50,
+        ),
+        remaining=st.integers(min_value=-5, max_value=100),
+    )
+    def test_estimate_is_never_negative(self, samples, remaining):
+        tracker = EtaTracker()
+        for outcome, seconds in samples:
+            tracker.note(outcome, seconds)
+        estimate = tracker.estimate(remaining)
+        assert estimate is None or estimate >= 0.0

@@ -1,0 +1,401 @@
+"""The ops plane contract: observe everything, steer nothing.
+
+Covers the fan-out sink's back-pressure, the status fold and
+status.json, the flight recorder's ring dumps, the HTTP endpoints and
+— the load-bearing guarantee every simlint waiver in ``repro.ops``
+cites — that attaching the full plane (server included) leaves a
+sweep's folded bytes identical.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import urllib.request
+
+import pytest
+
+from repro.exec import Engine, WorkerCrash
+from repro.exec.events import (
+    CellFinished,
+    Finished,
+    Interrupted,
+    PhaseStarted,
+    read_event_log,
+    validate_events,
+)
+from repro.ops import (
+    EventRing,
+    FanOutSink,
+    FlightRecorder,
+    OpsPlane,
+    attach_ops,
+    parse_serve_spec,
+    render_slowest,
+    resolve_serve_spec,
+    slowest_cells,
+)
+from repro.ops.status import read_status
+
+from tests.engine_cells import make_cells, make_suicide_cells
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.read()
+
+
+# ----------------------------------------------------------------------
+# serve-spec parsing
+# ----------------------------------------------------------------------
+class TestServeSpec:
+    def test_port_only_binds_loopback(self):
+        assert parse_serve_spec("9321") == ("127.0.0.1", 9321)
+
+    def test_host_and_port(self):
+        assert parse_serve_spec("0.0.0.0:8080") == ("0.0.0.0", 8080)
+
+    def test_port_zero_is_legal(self):
+        assert parse_serve_spec("0") == ("127.0.0.1", 0)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "host:", "70000", ":-1"])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_serve_spec(bad)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE", raising=False)
+        assert resolve_serve_spec(None) is None
+        monkeypatch.setenv("REPRO_SERVE", "127.0.0.1:7777")
+        assert resolve_serve_spec(None) == ("127.0.0.1", 7777)
+        assert resolve_serve_spec("8888") == ("127.0.0.1", 8888)
+
+
+# ----------------------------------------------------------------------
+# fan-out + back-pressure
+# ----------------------------------------------------------------------
+class TestFanOut:
+    def test_forwards_to_wrapped_and_ring(self):
+        seen = []
+        ring = EventRing(capacity=8)
+        fanout = FanOutSink(wrapped=[seen.append], ring=ring)
+        event = Finished(seq=0, cells=1, ran=1, hits=0, resumed=0)
+        fanout(event)
+        assert seen == [event]
+        assert ring.snapshot() == [event.to_json()]
+
+    def test_subscriber_receives_live_events(self):
+        fanout = FanOutSink()
+        subscription = fanout.subscribe()
+        event = PhaseStarted(seq=0, phase="plan", cells=2)
+        fanout(event)
+        assert subscription.get(timeout=1.0) == event.to_json()
+        fanout.unsubscribe(subscription)
+        assert fanout.subscriber_count == 0
+
+    def test_slow_reader_drops_instead_of_blocking(self):
+        fanout = FanOutSink()
+        subscription = fanout.subscribe(depth=2)
+        for seq in range(5):
+            fanout(PhaseStarted(seq=seq, phase="plan"))
+        # the sink never blocked; the overflow was counted, not queued
+        assert subscription.dropped == 3
+        assert subscription.get(timeout=0.1)["seq"] == 0
+        assert subscription.get(timeout=0.1)["seq"] == 1
+        assert subscription.get(timeout=0.1) is None
+
+    def test_ring_eviction_is_counted(self):
+        ring = EventRing(capacity=3)
+        for seq in range(10):
+            ring.push({"seq": seq})
+        assert len(ring) == 3
+        assert ring.dropped == 7
+        assert [doc["seq"] for doc in ring.snapshot()] == [7, 8, 9]
+
+    def test_close_wakes_blocked_readers(self):
+        fanout = FanOutSink()
+        subscription = fanout.subscribe()
+        fanout.close()
+        assert subscription.closed
+        assert subscription.get(timeout=0.1) is None
+
+
+# ----------------------------------------------------------------------
+# the status fold + status.json
+# ----------------------------------------------------------------------
+class TestRunStatus:
+    def test_document_tracks_a_run(self, tmp_path):
+        engine = Engine(jobs=1, run_root=tmp_path / "runs")
+        engine.run(make_cells(4), stage="s1")
+        doc = engine.status.document()
+        assert doc["phase"] == "fold"
+        assert doc["cells"]["done"] == 4
+        assert doc["cells"]["ran"] == 4
+        assert doc["cells"]["checkpointed"] == 4
+        assert doc["cells"]["fold_lag"] == 0
+        assert doc["stages"]["s1"]["done"] == 4
+        assert doc["sweeps_finished"] == 1
+        assert doc["run"]["run_id"] == engine.run_dir.run_id
+        assert doc["run"]["plan"] == engine.plan_fingerprint
+        assert doc["eta_seconds"] == 0.0  # nothing remaining
+        engine.close()
+
+    def test_status_json_written_and_consistent_with_journal(
+        self, tmp_path
+    ):
+        engine = Engine(jobs=1, run_root=tmp_path / "runs")
+        engine.run(make_cells(5), stage="s1")
+        engine.close()
+        status = read_status(engine.run_dir.path / "status.json")
+        assert status is not None
+        journal = [
+            line
+            for line in (engine.run_dir.path / "journal.jsonl")
+            .read_text()
+            .splitlines()
+            if line.strip()
+        ]
+        assert status["cells"]["checkpointed"] == len(journal) == 5
+        # no stranded temp file from the atomic rewrite
+        assert not (engine.run_dir.path / "status.json.tmp").exists()
+
+    def test_expect_cells_widens_the_expected_total(self):
+        engine = Engine(jobs=1)
+        engine.expect_cells(40)
+        engine.run(make_cells(4))
+        doc = engine.status.document()
+        assert doc["cells"]["planned"] == 4
+        assert doc["cells"]["expected"] == 40
+        # 4 ran cells give a rate; 36 remain, so an ETA exists
+        assert doc["eta_seconds"] is not None and doc["eta_seconds"] >= 0
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# flight recorder
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_dump_on_interrupted_event_validates_as_ring(self, tmp_path):
+        recorder = FlightRecorder(dir_provider=lambda: tmp_path)
+        recorder(PhaseStarted(seq=0, phase="plan", cells=2))
+        recorder(Interrupted(seq=1, completed=1, total=2, reason="test"))
+        assert len(recorder.dumps) == 1
+        dump = recorder.dumps[0]
+        records = read_event_log(dump)
+        assert validate_events(records, partial=True, ring=True) == []
+        meta = json.loads(
+            dump.with_suffix(".meta.json").read_text(encoding="utf-8")
+        )
+        assert meta["reason"] == "interrupted:test"
+        assert meta["events"] == 2
+
+    def test_head_truncated_dump_needs_ring_mode(self, tmp_path):
+        """A tiny ring loses the sweep opener; ``--ring`` waives the
+        head checks, plain validation still rejects the shape."""
+        recorder = FlightRecorder(
+            dir_provider=lambda: tmp_path, capacity=4
+        )
+        engine = Engine(jobs=1, sinks=[recorder])
+        engine.run(make_cells(6))
+        path = recorder.dump("manual")
+        records = read_event_log(path)
+        assert validate_events(records, partial=True, ring=True) == []
+        assert validate_events(records, partial=True) != []
+        engine.close()
+
+    def test_empty_ring_never_dumps(self, tmp_path):
+        recorder = FlightRecorder(dir_provider=lambda: tmp_path)
+        assert recorder.dump("nothing-yet") is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_worker_crash_leaves_a_valid_dump(self, tmp_path):
+        """The in-process twin of the subprocess crash-suite leg."""
+        engine = Engine(jobs=2, run_root=tmp_path / "runs")
+        plane = attach_ops(engine, signals=False)
+        with pytest.raises(WorkerCrash):
+            engine.run(make_suicide_cells(6, die_at=3), stage="crash")
+        assert len(plane.recorder.dumps) == 1
+        records = read_event_log(plane.recorder.dumps[0])
+        assert validate_events(records, partial=True, ring=True) == []
+        meta = json.loads(
+            plane.recorder.dumps[0]
+            .with_suffix(".meta.json")
+            .read_text(encoding="utf-8")
+        )
+        assert meta["reason"] == "interrupted:worker-crash"
+        assert meta["status"]["interrupted"] == "worker-crash"
+        plane.close()
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP endpoints
+# ----------------------------------------------------------------------
+class TestHttpEndpoints:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        engine = Engine(jobs=1, run_root=tmp_path / "runs")
+        plane = attach_ops(
+            engine, spec=("127.0.0.1", 0), signals=False
+        )
+        engine.run(make_cells(4), stage="http")
+        yield engine, plane, plane.server.url
+        plane.close()
+        engine.close()
+
+    def test_metrics_exposition(self, served):
+        _engine, _plane, url = served
+        text = _get(url + "/metrics").decode()
+        assert "# HELP repro_engine_cells " in text
+        assert "# TYPE repro_engine_cells counter" in text
+        assert 'repro_engine_cells{outcome="ran"} 4.0' in text
+        assert "repro_engine_sweeps 1.0" in text
+        assert "# TYPE repro_engine_cell_seconds histogram" in text
+        assert "repro_engine_cell_seconds_count 4" in text
+
+    def test_status_document(self, served):
+        engine, _plane, url = served
+        doc = json.loads(_get(url + "/status"))
+        assert doc == engine.status.document() | {
+            "updated_unix": doc["updated_unix"],
+            "elapsed_seconds": doc["elapsed_seconds"],
+        }
+        assert doc["cells"]["done"] == 4
+
+    def test_events_replay_with_limit(self, served):
+        _engine, _plane, url = served
+        body = _get(url + "/events?limit=5&replay=5").decode()
+        lines = [line for line in body.splitlines() if line.strip()]
+        assert len(lines) == 5
+        docs = [json.loads(line) for line in lines]
+        assert validate_events(docs, partial=True, ring=True) == []
+        # the replay is the tail of the stream: terminal event included
+        assert docs[-1]["kind"] == "finished"
+
+    def test_healthz_and_404(self, served):
+        _engine, _plane, url = served
+        assert _get(url + "/healthz") == b"ok\n"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_index_names_the_routes(self, served):
+        _engine, _plane, url = served
+        body = _get(url + "/").decode()
+        for route in ("/metrics", "/status", "/events", "/healthz"):
+            assert route in body
+
+
+# ----------------------------------------------------------------------
+# the determinism guarantee
+# ----------------------------------------------------------------------
+class TestObserverEffect:
+    def test_serve_preserves_fold_bytes(self, tmp_path):
+        """The pinning test every repro.ops simlint waiver names: the
+        full plane — metrics fold, ring, recorder, HTTP server, live
+        /events reader — changes nothing about the folded results."""
+        bare = Engine(jobs=1)
+        baseline = pickle.dumps(bare.run(make_cells(8), stage="obs"))
+        bare.close()
+
+        observed = Engine(jobs=1, run_root=tmp_path / "runs")
+        plane = attach_ops(
+            observed, spec=("127.0.0.1", 0), signals=False
+        )
+        url = plane.server.url
+        _get(url + "/status")  # a live reader mid-run shape
+        served = pickle.dumps(observed.run(make_cells(8), stage="obs"))
+        _get(url + "/metrics")
+        plane.close()
+        observed.close()
+        assert served == baseline
+
+    def test_parallel_with_plane_matches_parallel_without(self, tmp_path):
+        """Like-for-like byte identity (the plane is the only delta),
+        plus value equality against a bare serial run — the same
+        contract the exec equivalence suite pins, now with the
+        observer attached."""
+        bare = Engine(jobs=2)
+        baseline = pickle.dumps(bare.run(make_cells(8), stage="par"))
+        bare.close()
+        serial = Engine(jobs=1)
+        serial_values = serial.run(make_cells(8), stage="par")
+        serial.close()
+
+        observed = Engine(jobs=2, run_root=tmp_path / "runs")
+        plane = attach_ops(observed, signals=False)
+        values = observed.run(make_cells(8), stage="par")
+        plane.close()
+        observed.close()
+        assert pickle.dumps(values) == baseline
+        assert values == serial_values
+        # the jobs=2 run produced worker heartbeats (a worker that
+        # never won a task may still have its first beat in flight at
+        # teardown, so assert on the pool total, not per worker)
+        snapshot = observed.worker_health.snapshot()
+        assert snapshot["known"] >= 1
+        assert sum(
+            entry["beats"] for entry in snapshot["workers"].values()
+        ) >= 1
+
+
+# ----------------------------------------------------------------------
+# per-cell resource profiles
+# ----------------------------------------------------------------------
+class TestProfiles:
+    def test_cell_finished_carries_a_profile(self):
+        engine = Engine(jobs=1)
+        events = []
+        engine.add_sink(events.append)
+        engine.run(make_cells(3))
+        finished = [e for e in events if isinstance(e, CellFinished)]
+        assert len(finished) == 3
+        for event in finished:
+            assert event.max_rss_kb > 0  # the process has *some* RSS
+            assert event.utime_s >= 0.0 and event.stime_s >= 0.0
+        engine.close()
+
+    def test_journal_profile_fields_and_slowest_table(self, tmp_path):
+        engine = Engine(jobs=1, run_root=tmp_path / "runs")
+        engine.run(make_cells(4), stage="prof")
+        engine.close()
+        from repro.ops import read_journal
+
+        journal = read_journal(engine.run_dir.path / "journal.jsonl")
+        assert len(journal) == 4
+        for record in journal:
+            assert "utime_s" in record and "max_rss_kb" in record
+        top = slowest_cells(journal, k=2)
+        assert len(top) == 2
+        assert top[0]["seconds"] >= top[1]["seconds"]
+        table = render_slowest(journal, k=2, title="slowest")
+        assert "slowest (top 2 of 4)" in table
+        assert "arith:" in table
+
+    def test_render_handles_empty_journal(self):
+        assert "no executed cells" in render_slowest([], k=3)
+
+
+# ----------------------------------------------------------------------
+# plane lifecycle
+# ----------------------------------------------------------------------
+class TestPlaneLifecycle:
+    def test_plane_without_server_still_records(self, tmp_path):
+        engine = Engine(jobs=1, run_root=tmp_path / "runs")
+        plane = OpsPlane(engine)
+        engine.run(make_cells(3))
+        assert len(plane.ring) > 0
+        assert plane.server is None
+        path = plane.recorder.dump("headless")
+        assert path is not None and path.parent == engine.run_dir.path
+        plane.close()
+        engine.close()
+
+    def test_close_is_idempotent(self):
+        engine = Engine(jobs=1)
+        plane = attach_ops(
+            engine, spec=("127.0.0.1", 0), signals=False
+        )
+        plane.close()
+        plane.close()
+        engine.close()

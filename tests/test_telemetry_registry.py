@@ -140,3 +140,43 @@ class TestPrometheusExposition:
 
     def test_empty_registry_renders_empty(self):
         assert prometheus_text(TelemetryRegistry()) == ""
+
+    def test_label_values_escape_backslash_quote_and_newline(self):
+        registry = TelemetryRegistry()
+        registry.counter("odd", tag='a"b').inc()
+        registry.counter("odd", tag="c\\d").inc()
+        registry.counter("odd", tag="e\nf").inc()
+        text = prometheus_text(registry)
+        # spec order matters: backslash first, so the quote/newline
+        # escapes are not themselves re-escaped
+        assert 'repro_odd{tag="a\\"b"} 1.0' in text
+        assert 'repro_odd{tag="c\\\\d"} 1.0' in text
+        assert 'repro_odd{tag="e\\nf"} 1.0' in text
+        assert "\ne\nf" not in text  # no raw newline inside a series line
+
+    def test_help_line_precedes_type_once_per_metric(self):
+        registry = TelemetryRegistry()
+        registry.counter(
+            "beats", help="Heartbeats observed.", worker="0"
+        ).inc()
+        registry.counter("beats", worker="1").inc()  # same metric
+        registry.gauge("depth").set(2.0)  # no help text
+        text = prometheus_text(registry)
+        lines = text.splitlines()
+        help_index = lines.index("# HELP repro_beats Heartbeats observed.")
+        assert lines[help_index + 1] == "# TYPE repro_beats counter"
+        assert text.count("# HELP repro_beats") == 1
+        assert "# HELP repro_depth" not in text
+        assert "# TYPE repro_depth gauge" in text
+
+    def test_help_text_escapes_newline_and_backslash(self):
+        registry = TelemetryRegistry()
+        registry.gauge("g", help="line one\nand \\ two").set(1.0)
+        text = prometheus_text(registry)
+        assert "# HELP repro_g line one\\nand \\\\ two" in text
+
+    def test_help_set_on_first_declaration_wins(self):
+        registry = TelemetryRegistry()
+        counter = registry.counter("c", help="first")
+        assert registry.counter("c", help="second") is counter
+        assert counter.help == "first"
